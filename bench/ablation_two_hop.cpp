@@ -1,0 +1,64 @@
+// Two-hop inner-circle ablation (§3): "defining larger inner-circles (e.g.,
+// including all nodes two hops away) can effectively rebalance this
+// trade-off". In a sparse network (30 nodes over 1000x1000 m^2, ~4-member
+// one-hop circles), high dependability levels are infeasible with one-hop
+// circles — most RREP rounds abort for lack of L acks — while two-hop
+// circles (~12 members) support them, at the cost of relayed round traffic.
+//
+// Environment knobs: ICC_RUNS (default 5), ICC_SIM_TIME (default 200 s).
+#include <cstdio>
+#include <cstdlib>
+
+#include "aodv/blackhole_experiment.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using icc::aodv::BlackholeExperimentConfig;
+
+  const int runs = env_int("ICC_RUNS", 5);
+  const double sim_time = env_double("ICC_SIM_TIME", 200.0);
+
+  std::printf("Ablation — one-hop vs two-hop inner circles in a sparse AODV network\n");
+  std::printf("30 nodes, 1000x1000 m^2, 3 black hole attackers "
+              "(%d runs per cell, %.0f s)\n\n", runs, sim_time);
+
+  std::printf("%-4s | %-26s | %-26s\n", "L", "one-hop circles", "two-hop circles");
+  std::printf("%-4s | %12s %12s | %12s %12s\n", "", "throughput", "energy [J]",
+              "throughput", "energy [J]");
+  for (const int level : {1, 2, 3, 4}) {
+    double tp[2];
+    double energy[2];
+    for (const int hops : {1, 2}) {
+      BlackholeExperimentConfig config;
+      config.num_nodes = 30;
+      config.num_connections = 8;
+      config.num_malicious = 3;
+      config.inner_circle = true;
+      config.level = level;
+      config.circle_hops = hops;
+      config.sim_time = sim_time;
+      config.seed = 9000;  // common random numbers across levels and radii
+      const auto r = icc::aodv::run_blackhole_experiment_averaged(config, runs);
+      tp[hops - 1] = r.throughput;
+      energy[hops - 1] = r.mean_energy_j;
+    }
+    std::printf("%-4d | %11.1f%% %12.2f | %11.1f%% %12.2f\n", level, 100.0 * tp[0],
+                energy[0], 100.0 * tp[1], energy[1]);
+  }
+  std::printf("\n(One-hop circles collapse once L exceeds the sparse neighborhood size;\n"
+              " two-hop circles keep high levels feasible at extra relay energy.)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared table driver for the Fig 8 sensor-study benches (nominal and
+// weak-signal variants).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sensor/experiment.hpp"
+
+namespace icc::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+struct Fig8Row {
+  std::string config;
+  sensor::SensorExperimentResult with_target;
+  sensor::SensorExperimentResult no_target;
+};
+
+/// Run the full Fig 8 grid (No IC + IC L in [2,7], five fault models) and
+/// print the six sub-figures as tables: miss alarm (a), false alarm (b),
+/// energy with target (c), energy without target (d), detection latency (e),
+/// localization error (f).
+inline void run_fig8(double kt, int runs, double sim_time) {
+  using sensor::FaultType;
+  const FaultType faults[] = {FaultType::kNone, FaultType::kInterference,
+                              FaultType::kCalibration, FaultType::kStuckAtZero,
+                              FaultType::kPositionError};
+  const int levels_lo = 2;
+  const int levels_hi = env_int("ICC_MAX_LEVEL", 7);
+
+  std::printf("100 sensors, 200x200 m^2, K*T=%.0f, 10 faulty nodes, lambda=6.635\n", kt);
+  std::printf("(%d runs per cell, %.0f s simulated; paper uses 50 runs)\n\n", runs, sim_time);
+
+  std::vector<std::string> configs;
+  configs.push_back("No IC");
+  for (int level = levels_lo; level <= levels_hi; ++level) {
+    configs.push_back("IC, L=" + std::to_string(level));
+  }
+
+  // grid[config][fault]
+  std::vector<std::vector<Fig8Row>> grid(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (const FaultType fault : faults) {
+      sensor::SensorExperimentConfig config;
+      config.signal.kt = kt;
+      config.fault = fault;
+      config.inner_circle = c > 0;
+      config.level = c > 0 ? levels_lo + static_cast<int>(c) - 1 : 2;
+      config.sim_time = sim_time;
+      // Common random numbers: every config row simulates the same seeded
+      // worlds, so differences between rows are pure treatment effects.
+      config.seed = 100;
+
+      Fig8Row row;
+      row.config = configs[c];
+      row.with_target = sensor::run_sensor_experiment_averaged(config, runs);
+      config.with_target = false;
+      row.no_target = sensor::run_sensor_experiment_averaged(config, runs);
+      grid[c].push_back(row);
+    }
+  }
+
+  const auto print_table = [&](const char* title, const char* unit, auto metric) {
+    std::printf("%s\n", title);
+    std::printf("%-10s", "config");
+    for (const FaultType fault : faults) std::printf(" %14s", sensor::fault_name(fault));
+    std::printf("   [%s]\n", unit);
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      std::printf("%-10s", configs[c].c_str());
+      for (std::size_t f = 0; f < std::size(faults); ++f) {
+        std::printf(" %14.2f", metric(grid[c][f]));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  };
+
+  print_table("Fig 8(a): miss alarm probability", "%",
+              [](const Fig8Row& r) { return 100.0 * r.with_target.miss_prob; });
+  print_table("Fig 8(b): false alarm probability (per quiet epoch)", "%",
+              [](const Fig8Row& r) { return 100.0 * r.with_target.false_alarm_prob; });
+  print_table("Fig 8(c): active energy with target", "mJ/node",
+              [](const Fig8Row& r) { return r.with_target.active_energy_mj; });
+  print_table("Fig 8(d): active energy with no target", "mJ/node",
+              [](const Fig8Row& r) { return r.no_target.active_energy_mj; });
+  print_table("Fig 8(e): target detection latency", "s",
+              [](const Fig8Row& r) { return r.with_target.detection_latency_s; });
+  print_table("Fig 8(f): target localization error", "m",
+              [](const Fig8Row& r) { return r.with_target.localization_error_m; });
+}
+
+}  // namespace icc::bench

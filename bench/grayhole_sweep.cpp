@@ -1,0 +1,74 @@
+// Gray hole attack sweep (§5.1 / §6): a malicious node that behaves
+// correctly most of the time and attacks only in bursts defeats
+// detection-based countermeasures [4, 5, 23, 28]; the inner-circle approach
+// masks every individual malicious RREP regardless of duty cycle. The sweep
+// varies the attack duty cycle and compares no defense, the watchdog /
+// pathrater detection baseline (Marti et al. [28]), and the inner circle.
+//
+// Environment knobs: ICC_RUNS (default 5), ICC_SIM_TIME (default 300 s).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "aodv/blackhole_experiment.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using icc::aodv::BlackholeExperimentConfig;
+
+  const int runs = env_int("ICC_RUNS", 5);
+  const double sim_time = env_double("ICC_SIM_TIME", 300.0);
+  const int attackers = 5;
+
+  struct DutyCycle {
+    const char* name;
+    double on;
+    double off;
+  };
+  const DutyCycle cycles[] = {
+      {"always on (black hole)", 0.0, 0.0},
+      {"50% (30s/30s)", 30.0, 30.0},
+      {"25% (15s/45s)", 15.0, 45.0},
+      {"10% (6s/54s)", 6.0, 54.0},
+  };
+
+  std::printf("Gray hole duty-cycle sweep — %d attackers of 50 nodes "
+              "(%d runs per point, %.0f s)\n\n", attackers, runs, sim_time);
+  std::printf("%-26s %12s %14s %12s\n", "attack duty cycle", "no defense",
+              "watchdog [28]", "IC, L=1");
+  for (const DutyCycle& cycle : cycles) {
+    BlackholeExperimentConfig config;
+    config.num_malicious = attackers;
+    config.gray_on_period = cycle.on;
+    config.gray_off_period = cycle.off;
+    config.sim_time = sim_time;
+    config.seed = 7000;  // common random numbers across defenses
+    const auto undefended = icc::aodv::run_blackhole_experiment_averaged(config, runs);
+    config.watchdog = true;
+    const auto watched = icc::aodv::run_blackhole_experiment_averaged(config, runs);
+    config.watchdog = false;
+    config.inner_circle = true;
+    config.level = 1;
+    const auto guarded = icc::aodv::run_blackhole_experiment_averaged(config, runs);
+    std::printf("%-26s %11.1f%% %13.1f%% %11.1f%%\n", cycle.name,
+                100.0 * undefended.throughput, 100.0 * watched.throughput,
+                100.0 * guarded.throughput);
+  }
+  std::printf("\n(Detection-based defense pays its detection latency on every fresh\n"
+              " neighborhood an attacker roams into, and gray hole bursts reset the race;\n"
+              " masking filters every malicious RREP with no latency at any duty cycle.)\n");
+  return 0;
+}

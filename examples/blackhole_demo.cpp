@@ -1,0 +1,57 @@
+// Black hole attack demo (paper §5.1, Fig 7).
+//
+// Runs the same AODV network three times — clean, under attack, and under
+// attack with the inner-circle framework — and prints what the attack does
+// to throughput and what the inner circle wins back.
+//
+// Usage: blackhole_demo [num_malicious] [sim_seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "aodv/blackhole_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using icc::aodv::BlackholeExperimentConfig;
+  using icc::aodv::BlackholeExperimentResult;
+  using icc::aodv::run_blackhole_experiment;
+
+  const int malicious = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double sim_time = argc > 2 ? std::atof(argv[2]) : 120.0;
+
+  BlackholeExperimentConfig base;
+  base.sim_time = sim_time;
+  base.seed = 42;
+
+  std::printf("AODV black hole attack demo (%d nodes, %.0f s, %d attacker(s))\n",
+              base.num_nodes, base.sim_time, malicious);
+  std::printf("%-28s %12s %12s %14s %12s\n", "configuration", "sent", "received",
+              "throughput", "energy [J]");
+
+  const auto report = [](const char* name, const BlackholeExperimentResult& r) {
+    std::printf("%-28s %12llu %12llu %13.1f%% %12.2f\n", name,
+                static_cast<unsigned long long>(r.packets_sent),
+                static_cast<unsigned long long>(r.packets_received), 100.0 * r.throughput,
+                r.mean_energy_j);
+  };
+
+  BlackholeExperimentConfig clean = base;
+  report("no attack", run_blackhole_experiment(clean));
+
+  BlackholeExperimentConfig attacked = base;
+  attacked.num_malicious = malicious;
+  const auto attacked_result = run_blackhole_experiment(attacked);
+  report("black hole, no defense", attacked_result);
+
+  BlackholeExperimentConfig guarded = base;
+  guarded.num_malicious = malicious;
+  guarded.inner_circle = true;
+  guarded.level = 1;
+  const auto guarded_result = run_blackhole_experiment(guarded);
+  report("black hole + inner circle", guarded_result);
+
+  std::printf(
+      "\nattack dropped %llu data packets; inner circle suppressed %llu raw RREPs\n",
+      static_cast<unsigned long long>(attacked_result.blackhole_dropped),
+      static_cast<unsigned long long>(guarded_result.raw_rreps_suppressed));
+  return 0;
+}

@@ -1,0 +1,367 @@
+#include "aodv/aodv.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace icc::aodv {
+
+namespace {
+constexpr std::uint64_t kAodvRngSalt = 0x414F4456ull;  // "AODV"
+constexpr std::uint32_t kDataHeaderBytes = 20;
+}
+
+Aodv::Aodv(sim::Node& node, Params params)
+    : node_{node}, params_{params}, rng_{node.world().fork_rng(kAodvRngSalt + node.id())} {
+  node_.register_handler(sim::Port::kAodv, [this](const sim::Packet& p, sim::NodeId from) {
+    handle_packet(p, from);
+  });
+  node_.register_handler(sim::Port::kCbr, [this](const sim::Packet& p, sim::NodeId from) {
+    handle_packet(p, from);
+  });
+  node_.set_send_failed_handler([this](const sim::Packet& p, sim::NodeId next_hop) {
+    on_link_failure(p, next_hop);
+  });
+  schedule_seen_cache_cleanup();
+}
+
+void Aodv::schedule_seen_cache_cleanup() {
+  // Periodically forget seen RREQ ids so the cache stays bounded. rreq_ids
+  // are monotone per origin, so forgetting old entries cannot re-admit a
+  // duplicate that is still in flight within the timeout.
+  node_.world().sched().schedule_in(params_.seen_cache_timeout, [this] {
+    seen_rreqs_.clear();
+    schedule_seen_cache_cleanup();
+  });
+}
+
+sim::Time Aodv::now() const { return node_.world().now(); }
+
+bool Aodv::has_route(sim::NodeId dest) const {
+  const auto it = routes_.find(dest);
+  return it != routes_.end() && it->second.valid && it->second.expires > now();
+}
+
+sim::NodeId Aodv::next_hop_to(sim::NodeId dest) const {
+  const auto it = routes_.find(dest);
+  if (it == routes_.end() || !it->second.valid) return sim::kNoNode;
+  return it->second.next_hop;
+}
+
+void Aodv::invalidate_routes_via(sim::NodeId via) {
+  for (auto& [dest, entry] : routes_) {
+    if (entry.valid && entry.next_hop == via) entry.valid = false;
+  }
+}
+
+void Aodv::update_route(sim::NodeId dest, sim::NodeId next_hop, std::uint32_t hop_count,
+                        std::uint32_t seq, bool seq_known) {
+  if (dest == node_.id()) return;
+  RouteEntry& entry = routes_[dest];
+  const bool fresher =
+      !entry.valid || entry.expires <= now() ||
+      (seq_known && (!entry.seq_known || seq > entry.dest_seq ||
+                     (seq == entry.dest_seq && hop_count < entry.hop_count))) ||
+      (!seq_known && !entry.seq_known && hop_count < entry.hop_count);
+  if (!fresher) return;
+  entry.next_hop = next_hop;
+  entry.hop_count = hop_count;
+  if (seq_known) {
+    entry.dest_seq = seq;
+    entry.seq_known = true;
+  }
+  entry.expires = now() + params_.active_route_timeout;
+  entry.valid = true;
+}
+
+// ----------------------------------------------------------- data plane
+
+void Aodv::send_data(sim::NodeId dest, DataMsg data) {
+  // Ensure end-to-end identity: the uid survives hop-by-hop forwarding so
+  // promiscuous observers (watchdog) can match retransmissions.
+  if (data.app_uid == 0) data.app_uid = node_.world().next_packet_uid();
+  sim::Packet packet;
+  packet.src = node_.id();
+  packet.dst = dest;
+  packet.port = sim::Port::kCbr;
+  packet.size_bytes = data.app_bytes + kDataHeaderBytes;
+  packet.body = std::make_shared<DataMsg>(data);
+  node_.world().stats().add("aodv.data_originated");
+  forward_data(packet, data);
+}
+
+void Aodv::forward_data(const sim::Packet& packet, const DataMsg&) {
+  const sim::NodeId dest = packet.dst;
+  const auto it = routes_.find(dest);
+  if (it != routes_.end() && it->second.valid && it->second.expires > now()) {
+    it->second.expires = now() + params_.active_route_timeout;  // route in use
+    send_data_packet(packet, it->second.next_hop);
+    return;
+  }
+  if (packet.src == node_.id()) {
+    // Source: buffer and discover.
+    PendingDiscovery& pending = pending_[dest];
+    if (pending.buffered.size() >= params_.buffer_capacity) {
+      pending.buffered.pop_front();
+      node_.world().stats().add("aodv.buffer_overflow");
+    }
+    pending.buffered.push_back(packet);
+    if (pending.attempts == 0) start_discovery(dest);
+    return;
+  }
+  // Intermediate node lost the route: drop and report.
+  node_.world().stats().add("aodv.data_dropped_no_route");
+  if (params_.send_rerr) {
+    auto rerr = std::make_shared<RerrMsg>();
+    const auto rit = routes_.find(dest);
+    rerr->unreachable.emplace_back(dest, rit != routes_.end() ? rit->second.dest_seq + 1 : 0);
+    sim::Packet p;
+    p.src = node_.id();
+    p.dst = sim::kBroadcast;
+    p.port = sim::Port::kAodv;
+    p.size_bytes = rerr->wire_size();
+    p.body = std::move(rerr);
+    node_.link_send(std::move(p), sim::kBroadcast);
+  }
+}
+
+void Aodv::send_data_packet(sim::Packet packet, sim::NodeId next_hop) {
+  node_.world().stats().add("aodv.data_forwarded");
+  node_.link_send(std::move(packet), next_hop);
+}
+
+// ------------------------------------------------------- route discovery
+
+void Aodv::start_discovery(sim::NodeId dest) {
+  PendingDiscovery& pending = pending_[dest];
+  pending.attempts = 1;
+  ++own_seq_;
+
+  RreqMsg rreq;
+  rreq.orig = node_.id();
+  rreq.rreq_id = next_rreq_id_++;
+  rreq.orig_seq = own_seq_;
+  rreq.dest = dest;
+  const auto it = routes_.find(dest);
+  rreq.dest_seq_known = it != routes_.end() && it->second.seq_known;
+  rreq.dest_seq = rreq.dest_seq_known ? it->second.dest_seq : 0;
+  rreq.hop_count = 0;
+  seen_rreqs_.emplace(rreq.orig, rreq.rreq_id);
+  broadcast_rreq(rreq);
+
+  pending.retry_event = node_.world().sched().schedule_in(
+      params_.rreq_retry_interval, [this, dest] { retry_discovery(dest); });
+}
+
+void Aodv::retry_discovery(sim::NodeId dest) {
+  const auto it = pending_.find(dest);
+  if (it == pending_.end()) return;
+  PendingDiscovery& pending = it->second;
+  if (pending.attempts > params_.rreq_retries) {
+    drop_buffered(dest);
+    return;
+  }
+  ++pending.attempts;
+  ++own_seq_;
+  RreqMsg rreq;
+  rreq.orig = node_.id();
+  rreq.rreq_id = next_rreq_id_++;
+  rreq.orig_seq = own_seq_;
+  rreq.dest = dest;
+  const auto rit = routes_.find(dest);
+  rreq.dest_seq_known = rit != routes_.end() && rit->second.seq_known;
+  rreq.dest_seq = rreq.dest_seq_known ? rit->second.dest_seq : 0;
+  rreq.hop_count = 0;
+  seen_rreqs_.emplace(rreq.orig, rreq.rreq_id);
+  broadcast_rreq(rreq);
+  pending.retry_event = node_.world().sched().schedule_in(
+      params_.rreq_retry_interval * (1 << pending.attempts), [this, dest] {
+        retry_discovery(dest);
+      });
+}
+
+void Aodv::broadcast_rreq(const RreqMsg& rreq) {
+  sim::Packet packet;
+  packet.src = node_.id();
+  packet.dst = sim::kBroadcast;
+  packet.port = sim::Port::kAodv;
+  packet.size_bytes = RreqMsg::kWireSize;
+  packet.body = std::make_shared<RreqMsg>(rreq);
+  node_.world().stats().add("aodv.rreq_sent");
+  node_.link_send(std::move(packet), sim::kBroadcast);
+}
+
+void Aodv::flush_buffer(sim::NodeId dest) {
+  const auto it = pending_.find(dest);
+  if (it == pending_.end()) return;
+  node_.world().sched().cancel(it->second.retry_event);
+  std::deque<sim::Packet> buffered = std::move(it->second.buffered);
+  pending_.erase(it);
+  for (sim::Packet& packet : buffered) {
+    const auto* data = packet.body_as<DataMsg>();
+    if (data != nullptr) forward_data(packet, *data);
+  }
+}
+
+void Aodv::drop_buffered(sim::NodeId dest) {
+  const auto it = pending_.find(dest);
+  if (it == pending_.end()) return;
+  node_.world().sched().cancel(it->second.retry_event);
+  node_.world().stats().add("aodv.discovery_failed");
+  node_.world().stats().add("aodv.data_dropped_no_route",
+                            static_cast<double>(it->second.buffered.size()));
+  pending_.erase(it);
+}
+
+// -------------------------------------------------------- control plane
+
+void Aodv::handle_packet(const sim::Packet& packet, sim::NodeId from) {
+  if (const auto* data = packet.body_as<DataMsg>()) {
+    update_route(from, from, 1, 0, false);  // the sender is a live neighbor
+    if (packet.dst == node_.id()) {
+      node_.world().stats().add("aodv.data_delivered");
+      if (deliver_) deliver_(*data, packet.src);
+    } else {
+      forward_data(packet, *data);
+    }
+    return;
+  }
+  if (const auto* rreq = packet.body_as<RreqMsg>()) {
+    handle_rreq(*rreq, from);
+  } else if (const auto* rrep = packet.body_as<RrepMsg>()) {
+    handle_rrep(*rrep, from);
+  } else if (const auto* rerr = packet.body_as<RerrMsg>()) {
+    handle_rerr(*rerr, from);
+  }
+}
+
+void Aodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
+  if (rreq.orig == node_.id()) return;
+  if (!seen_rreqs_.emplace(rreq.orig, rreq.rreq_id).second) return;
+
+  update_route(from, from, 1, 0, false);
+  update_route(rreq.orig, from, rreq.hop_count + 1, rreq.orig_seq, true);
+
+  if (rreq.dest == node_.id()) {
+    // Destination: reply with our current sequence number (bumped so the
+    // reply is at least as fresh as anything the requester has seen).
+    if (rreq.dest_seq_known && rreq.dest_seq > own_seq_) own_seq_ = rreq.dest_seq;
+    ++own_seq_;
+    RrepMsg rrep;
+    rrep.dest = node_.id();
+    rrep.dest_seq = own_seq_;
+    rrep.orig = rreq.orig;
+    rrep.hop_count = 0;
+    send_rrep_towards(rrep);
+    return;
+  }
+
+  // Intermediate reply: a cached route at least as fresh as the requester's
+  // knowledge answers the RREQ directly (AODV without the destination-only
+  // flag).
+  if (!params_.dest_only) {
+    const auto it = routes_.find(rreq.dest);
+    if (it != routes_.end() && it->second.valid && it->second.expires > now() &&
+        it->second.seq_known &&
+        (!rreq.dest_seq_known || it->second.dest_seq >= rreq.dest_seq)) {
+      RrepMsg rrep;
+      rrep.dest = rreq.dest;
+      rrep.dest_seq = it->second.dest_seq;
+      rrep.orig = rreq.orig;
+      rrep.hop_count = it->second.hop_count;
+      node_.world().stats().add("aodv.intermediate_rrep");
+      send_rrep_towards(rrep);
+      return;
+    }
+  }
+
+  // Re-flood with a small jitter to de-synchronize neighboring rebroadcasts.
+  RreqMsg fwd = rreq;
+  fwd.hop_count += 1;
+  node_.world().sched().schedule_in(rng_.uniform(0.0, 0.01), [this, fwd] {
+    broadcast_rreq(fwd);
+  });
+}
+
+void Aodv::send_rrep_towards(const RrepMsg& rrep) {
+  // Unicast along the reverse route to the requester.
+  const auto it = routes_.find(rrep.orig);
+  if (it == routes_.end() || !it->second.valid) {
+    node_.world().stats().add("aodv.rrep_no_reverse_route");
+    return;
+  }
+  sim::Packet packet;
+  packet.src = node_.id();
+  packet.dst = rrep.orig;
+  packet.port = sim::Port::kAodv;
+  packet.size_bytes = RrepMsg::kWireSize;
+  packet.body = std::make_shared<RrepMsg>(rrep);
+  node_.world().stats().add("aodv.rrep_sent");
+  node_.link_send(std::move(packet), it->second.next_hop);
+}
+
+void Aodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
+  update_route(from, from, 1, 0, false);
+  update_route(rrep.dest, from, rrep.hop_count + 1, rrep.dest_seq, true);
+
+  if (rrep.orig == node_.id()) {
+    flush_buffer(rrep.dest);
+    return;
+  }
+  RrepMsg fwd = rrep;
+  fwd.hop_count += 1;
+  send_rrep_towards(fwd);
+}
+
+void Aodv::handle_rerr(const RerrMsg& rerr, sim::NodeId from) {
+  RerrMsg propagated;
+  for (const auto& [dest, seq] : rerr.unreachable) {
+    const auto it = routes_.find(dest);
+    if (it != routes_.end() && it->second.valid && it->second.next_hop == from) {
+      it->second.valid = false;
+      if (seq > it->second.dest_seq) it->second.dest_seq = seq;
+      propagated.unreachable.emplace_back(dest, seq);
+    }
+  }
+  if (!propagated.unreachable.empty() && params_.send_rerr) {
+    sim::Packet packet;
+    packet.src = node_.id();
+    packet.dst = sim::kBroadcast;
+    packet.port = sim::Port::kAodv;
+    packet.size_bytes = propagated.wire_size();
+    packet.body = std::make_shared<RerrMsg>(propagated);
+    node_.link_send(std::move(packet), sim::kBroadcast);
+  }
+}
+
+void Aodv::on_link_failure(const sim::Packet& packet, sim::NodeId next_hop) {
+  // Only react to data-plane failures; control messages have their own
+  // retry/timeout logic.
+  if (packet.body_as<DataMsg>() == nullptr) return;
+  node_.world().stats().add("aodv.link_failures");
+
+  RerrMsg rerr;
+  for (auto& [dest, entry] : routes_) {
+    if (entry.valid && entry.next_hop == next_hop) {
+      entry.valid = false;
+      entry.dest_seq += 1;
+      rerr.unreachable.emplace_back(dest, entry.dest_seq);
+    }
+  }
+  if (!rerr.unreachable.empty() && params_.send_rerr) {
+    sim::Packet p;
+    p.src = node_.id();
+    p.dst = sim::kBroadcast;
+    p.port = sim::Port::kAodv;
+    p.size_bytes = rerr.wire_size();
+    p.body = std::make_shared<RerrMsg>(rerr);
+    node_.link_send(std::move(p), sim::kBroadcast);
+  }
+  // Salvage: if we are the source of the failed packet, try to rediscover.
+  if (packet.src == node_.id()) {
+    const auto* data = packet.body_as<DataMsg>();
+    if (data != nullptr) forward_data(packet, *data);
+  }
+}
+
+}  // namespace icc::aodv

@@ -1,0 +1,71 @@
+#include "aodv/blackhole.hpp"
+
+#include <cmath>
+
+#include "sim/world.hpp"
+
+namespace icc::aodv {
+
+namespace {
+constexpr std::uint64_t kAttackRngSalt = 0x42484F4Cull;  // "BHOL"
+}
+
+BlackholeAodv::BlackholeAodv(sim::Node& node, Params params, AttackParams attack)
+    : Aodv{node, params},
+      attack_{attack},
+      attack_rng_{node.world().fork_rng(kAttackRngSalt + node.id())} {}
+
+bool BlackholeAodv::attacking() const {
+  if (attack_.on_period <= 0.0) return true;
+  const double cycle = attack_.on_period + attack_.off_period;
+  return std::fmod(now(), cycle) < attack_.on_period;
+}
+
+void BlackholeAodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
+  if (!attacking()) {
+    Aodv::handle_rreq(rreq, from);
+    return;
+  }
+  if (rreq.orig == node_.id()) return;
+  if (!seen_rreqs_.emplace(rreq.orig, rreq.rreq_id).second) return;
+
+  // Keep the reverse route so the malicious RREP can travel back.
+  update_route(from, from, 1, 0, false);
+  update_route(rreq.orig, from, rreq.hop_count + 1, rreq.orig_seq, true);
+
+  // The black hole RREP: "I have a one-hop route to the destination, and it
+  // is fresher than anything you will ever hear" (Fig 6(e)). Sent raw —
+  // a compromised node does not submit itself to inner-circle voting — so
+  // guarded receivers will suppress it, while unguarded ones swallow it.
+  RrepMsg rrep;
+  rrep.dest = rreq.dest;
+  rrep.dest_seq = rreq.dest_seq + attack_.seq_inflation;
+  rrep.orig = rreq.orig;
+  rrep.hop_count = 1;
+
+  sim::Packet packet;
+  packet.src = node_.id();
+  packet.dst = rreq.orig;
+  packet.port = sim::Port::kAodv;
+  packet.size_bytes = RrepMsg::kWireSize;
+  packet.body = std::make_shared<RrepMsg>(rrep);
+  node_.world().stats().add("blackhole.rrep_sent");
+  node_.link_send_unfiltered(std::move(packet), from);
+
+  if (attack_.forward_rreq) {
+    RreqMsg fwd = rreq;
+    fwd.hop_count += 1;
+    broadcast_rreq(fwd);
+  }
+}
+
+void BlackholeAodv::forward_data(const sim::Packet& packet, const DataMsg& data) {
+  if (packet.src != node_.id() && attacking() && attack_rng_.chance(attack_.drop_prob)) {
+    ++dropped_;
+    node_.world().stats().add("blackhole.data_dropped");
+    return;
+  }
+  Aodv::forward_data(packet, data);
+}
+
+}  // namespace icc::aodv

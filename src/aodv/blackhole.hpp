@@ -1,0 +1,43 @@
+// Black hole / gray hole attacker (§5.1).
+//
+// A compromised node advertises itself as having the freshest path to any
+// requested destination — replying to every RREQ with a RREP whose
+// destination sequence number is inflated by a large constant — and then
+// silently drops the data packets it attracts. The gray hole variant
+// behaves correctly most of the time and attacks only in bursts, which
+// defeats detection-based countermeasures [4, 5, 23].
+#pragma once
+
+#include "aodv/aodv.hpp"
+
+namespace icc::aodv {
+
+class BlackholeAodv final : public Aodv {
+ public:
+  struct AttackParams {
+    std::uint32_t seq_inflation{1'000'000};
+    double drop_prob{1.0};       ///< probability of dropping attracted data
+    bool forward_rreq{false};    ///< stealthier if true (also re-floods)
+    /// Gray hole duty cycle: attack for `on_period`, behave for
+    /// `off_period`, repeat. Zero on_period means "always attacking".
+    sim::Time on_period{0.0};
+    sim::Time off_period{0.0};
+  };
+
+  BlackholeAodv(sim::Node& node, Params params, AttackParams attack);
+
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept { return dropped_; }
+
+ protected:
+  void handle_rreq(const RreqMsg& rreq, sim::NodeId from) override;
+  void forward_data(const sim::Packet& packet, const DataMsg& data) override;
+
+ private:
+  [[nodiscard]] bool attacking() const;
+
+  AttackParams attack_;
+  sim::Rng attack_rng_;
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace icc::aodv

@@ -1,0 +1,148 @@
+#include "aodv/blackhole_experiment.hpp"
+
+#include <algorithm>
+
+#include "aodv/blackhole.hpp"
+#include "aodv/guard.hpp"
+#include "aodv/watchdog.hpp"
+#include "core/framework.hpp"
+#include "crypto/model_scheme.hpp"
+#include "crypto/pki.hpp"
+#include "sim/world.hpp"
+#include "traffic/cbr.hpp"
+
+namespace icc::aodv {
+
+BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConfig& config) {
+  sim::WorldConfig world_config;
+  world_config.width = config.area;
+  world_config.height = config.area;
+  world_config.tx_range = config.tx_range;
+  world_config.seed = config.seed;
+  sim::World world{world_config};
+
+  sim::Rng layout_rng = world.fork_rng(0xB1ACull);
+
+  // Shared cryptographic substrate (trusted dealer at init time, §2).
+  crypto::ModelThresholdScheme scheme{config.seed, std::max(config.level, 1),
+                                      config.key_bits};
+  crypto::ModelPki pki{config.seed ^ 0x5A5Aull, config.key_bits};
+  crypto::ModelCipher cipher;
+
+  // Nodes: the first num_malicious ids are attackers (ids are structural,
+  // so which ids attack does not bias the uniform geometry).
+  const int n = config.num_nodes;
+  std::vector<std::unique_ptr<Aodv>> agents;
+  std::vector<std::unique_ptr<core::InnerCircleNode>> circles;
+  std::vector<std::unique_ptr<AodvGuard>> guards;
+  std::vector<std::unique_ptr<Watchdog>> watchdogs;
+  agents.reserve(static_cast<std::size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    sim::RandomWaypoint::Params mob;
+    mob.width = config.area;
+    mob.height = config.area;
+    mob.min_speed = 1.0;
+    mob.max_speed = config.max_speed;
+    mob.pause = 0.0;
+    const sim::Vec2 start = layout_rng.point_in(config.area, config.area);
+    sim::Node& node = world.add_node(std::make_unique<sim::RandomWaypoint>(
+        mob, start, world.fork_rng(0x6D6F62ull + static_cast<std::uint64_t>(i))));
+
+    const bool malicious = i < config.num_malicious;
+    if (malicious) {
+      BlackholeAodv::AttackParams attack;
+      attack.on_period = config.gray_on_period;
+      attack.off_period = config.gray_off_period;
+      agents.push_back(std::make_unique<BlackholeAodv>(node, Aodv::Params{}, attack));
+    } else {
+      agents.push_back(std::make_unique<Aodv>(node, Aodv::Params{}));
+    }
+
+    if (config.inner_circle && !malicious) {
+      core::InnerCircleConfig icc_config;
+      icc_config.level = config.level;
+      icc_config.circle_hops = config.circle_hops;
+      icc_config.mode = core::VotingMode::kDeterministic;
+      icc_config.sts.delta_sts = config.delta_sts;
+      icc_config.ivs.cost = config.cost;
+      circles.push_back(std::make_unique<core::InnerCircleNode>(node, icc_config, scheme,
+                                                                pki, cipher));
+      guards.push_back(std::make_unique<AodvGuard>(*agents.back(), *circles.back()));
+      circles.back()->start();
+    }
+    if (config.watchdog && !malicious) {
+      watchdogs.push_back(std::make_unique<Watchdog>(*agents.back(), Watchdog::Params{}));
+    }
+    traffic::CbrConnection::attach_sink(*agents.back());
+  }
+
+  // CBR connections between distinct correct nodes (an attacker endpoint
+  // would make the flow trivially dead and measure nothing).
+  std::vector<std::unique_ptr<traffic::CbrConnection>> connections;
+  sim::Rng traffic_rng = world.fork_rng(0xCB12ull);
+  const auto pick_correct = [&] {
+    return static_cast<sim::NodeId>(
+        traffic_rng.uniform_int(static_cast<std::uint32_t>(config.num_malicious),
+                                static_cast<std::uint32_t>(n - 1)));
+  };
+  for (int c = 0; c < config.num_connections; ++c) {
+    const sim::NodeId src = pick_correct();
+    sim::NodeId dst = pick_correct();
+    while (dst == src) dst = pick_correct();
+    traffic::CbrConnection::Params params;
+    params.rate_pps = config.rate_pps;
+    params.packet_bytes = config.packet_bytes;
+    params.start = config.traffic_start + traffic_rng.uniform(0.0, 1.0);
+    params.stop = config.sim_time;
+    connections.push_back(
+        std::make_unique<traffic::CbrConnection>(*agents[src], dst, params));
+  }
+
+  world.run_until(config.sim_time);
+
+  BlackholeExperimentResult result;
+  result.packets_sent = static_cast<std::uint64_t>(world.stats().get("cbr.sent"));
+  result.packets_received = static_cast<std::uint64_t>(world.stats().get("cbr.received"));
+  result.throughput = result.packets_sent
+                          ? static_cast<double>(result.packets_received) /
+                                static_cast<double>(result.packets_sent)
+                          : 0.0;
+  result.mean_energy_j = world.mean_energy_joules();
+  result.mean_latency_s = world.stats().samples("cbr.latency").mean();
+  result.blackhole_dropped =
+      static_cast<std::uint64_t>(world.stats().get("blackhole.data_dropped"));
+  result.raw_rreps_suppressed =
+      static_cast<std::uint64_t>(world.stats().get("icc.suppressed_raw"));
+  result.voting_rounds = static_cast<std::uint64_t>(world.stats().get("ivs.rounds_started"));
+  result.watchdog_blacklisted =
+      static_cast<std::uint64_t>(world.stats().get("watchdog.blacklisted"));
+  result.mac_collisions = world.medium().collisions();
+  return result;
+}
+
+BlackholeExperimentResult run_blackhole_experiment_averaged(BlackholeExperimentConfig config,
+                                                            int runs) {
+  BlackholeExperimentResult total;
+  for (int r = 0; r < runs; ++r) {
+    config.seed = config.seed * 6364136223846793005ull + 1442695040888963407ull;
+    const BlackholeExperimentResult one = run_blackhole_experiment(config);
+    total.packets_sent += one.packets_sent;
+    total.packets_received += one.packets_received;
+    total.throughput += one.throughput;
+    total.mean_energy_j += one.mean_energy_j;
+    total.mean_latency_s += one.mean_latency_s;
+    total.blackhole_dropped += one.blackhole_dropped;
+    total.raw_rreps_suppressed += one.raw_rreps_suppressed;
+    total.voting_rounds += one.voting_rounds;
+    total.watchdog_blacklisted += one.watchdog_blacklisted;
+    total.mac_collisions += one.mac_collisions;
+  }
+  const double k = runs > 0 ? static_cast<double>(runs) : 1.0;
+  total.throughput /= k;
+  total.mean_energy_j /= k;
+  total.mean_latency_s /= k;
+  return total;
+}
+
+}  // namespace icc::aodv

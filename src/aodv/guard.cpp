@@ -1,0 +1,69 @@
+#include "aodv/guard.hpp"
+
+#include "sim/world.hpp"
+
+namespace icc::aodv {
+
+AodvGuard::AodvGuard(Aodv& aodv, core::InnerCircleNode& icc)
+    : aodv_{aodv}, icc_{icc}, entry_lifetime_{30.0} {
+  // Outgoing RREPs are redirected to deterministic voting...
+  icc_.intercept_outgoing(
+      [](const sim::Packet& packet, sim::NodeId) {
+        return packet.port == sim::Port::kAodv && packet.body_as<RrepMsg>() != nullptr;
+      },
+      [](const sim::Packet& packet, sim::NodeId next_hop) {
+        return RrepMsg::wire_encode(*packet.body_as<RrepMsg>(), next_hop);
+      });
+  // ...and raw RREPs off the air are suppressed: only agreed messages carry
+  // valid route replies in a guarded network.
+  icc_.suppress_incoming([](const sim::Packet& packet) {
+    return packet.port == sim::Port::kAodv && packet.body_as<RrepMsg>() != nullptr;
+  });
+
+  icc_.callbacks().check = [this](sim::NodeId center, const core::Value& value) {
+    return check(center, value);
+  };
+  icc_.callbacks().on_agreed = [this](const core::AgreedMsg& msg, bool is_center) {
+    on_agreed(msg, is_center);
+  };
+}
+
+void AodvGuard::prune(sim::Time now) const {
+  std::erase_if(fw_, [&](const auto& kv) { return now - kv.second.updated > entry_lifetime_; });
+}
+
+bool AodvGuard::is_valid_forwarder(sim::NodeId who, sim::NodeId dest,
+                                   std::uint32_t dest_seq) const {
+  prune(aodv_.node().world().now());
+  const auto it = fw_.find({dest, dest_seq});
+  return it != fw_.end() && it->second.forwarders.count(who) != 0;
+}
+
+bool AodvGuard::check(sim::NodeId center, const core::Value& value) {
+  const auto decoded = RrepMsg::wire_decode(value);
+  if (!decoded) return false;
+  const RrepMsg& rrep = decoded->first;
+  // Fig 6: accept iff the center is the sought destination itself, or this
+  // node already recorded it as a legitimate forwarder for (dest, dest_seq).
+  if (center == rrep.dest) return true;
+  return is_valid_forwarder(center, rrep.dest, rrep.dest_seq);
+}
+
+void AodvGuard::on_agreed(const core::AgreedMsg& msg, bool is_center) {
+  const auto decoded = RrepMsg::wire_decode(msg.value);
+  if (!decoded) return;
+  const auto& [rrep, next_hop] = *decoded;
+
+  FwEntry& entry = fw_[{rrep.dest, rrep.dest_seq}];
+  entry.forwarders.insert(msg.source);
+  entry.forwarders.insert(next_hop);
+  entry.updated = aodv_.node().world().now();
+
+  // The designated next hop hands the validated RREP to its local AODV
+  // service, which continues the hop-by-hop reply towards the requester.
+  if (!is_center && next_hop == aodv_.node().id()) {
+    aodv_.inject_rrep(rrep, msg.source);
+  }
+}
+
+}  // namespace icc::aodv

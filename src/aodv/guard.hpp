@@ -1,0 +1,48 @@
+// AODV inner-circle callbacks (Fig 6): wires an AODV agent to the
+// inner-circle framework so that every RREP is validated by the sender's
+// one-hop neighborhood before it can propagate.
+//
+// Each node maintains the mapping fw : (dest, dest_seq) -> set of nodes
+// allowed to forward RREPs for that route. The deterministic-voting check
+// accepts a proposed RREP only if the proposing center is the route's
+// destination or is in fw; agreed messages extend fw with the center and its
+// designated next hop, and inject the RREP into the next hop's local AODV.
+//
+// Guarantee (§5.1): with dependability level L chosen so that at least one
+// inner-circle node besides the center is non-Byzantine (T >= 1), a
+// malicious node that is not on a path to D cannot diffuse a RREP for D.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "aodv/aodv.hpp"
+#include "core/framework.hpp"
+
+namespace icc::aodv {
+
+class AodvGuard {
+ public:
+  AodvGuard(Aodv& aodv, core::InnerCircleNode& icc);
+
+  /// fw-map lookup (tests / tracing).
+  [[nodiscard]] bool is_valid_forwarder(sim::NodeId who, sim::NodeId dest,
+                                        std::uint32_t dest_seq) const;
+
+ private:
+  [[nodiscard]] bool check(sim::NodeId center, const core::Value& value);
+  void on_agreed(const core::AgreedMsg& msg, bool is_center);
+  void prune(sim::Time now) const;
+
+  Aodv& aodv_;
+  core::InnerCircleNode& icc_;
+  sim::Time entry_lifetime_;
+
+  struct FwEntry {
+    std::set<sim::NodeId> forwarders;
+    sim::Time updated{0.0};
+  };
+  mutable std::map<std::pair<sim::NodeId, std::uint32_t>, FwEntry> fw_;
+};
+
+}  // namespace icc::aodv

@@ -1,0 +1,88 @@
+// AODV protocol messages [2] (simplified subset, see DESIGN.md) plus the
+// application data envelope routed over AODV paths.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+
+namespace icc::aodv {
+
+/// Route request, flooded network-wide by a source needing a route.
+struct RreqMsg final : sim::Payload {
+  sim::NodeId orig{sim::kNoNode};
+  std::uint32_t rreq_id{0};
+  std::uint32_t orig_seq{0};
+  sim::NodeId dest{sim::kNoNode};
+  std::uint32_t dest_seq{0};      ///< last known destination sequence number
+  bool dest_seq_known{false};
+  std::uint32_t hop_count{0};
+  [[nodiscard]] std::string tag() const override { return "aodv.rreq"; }
+  static constexpr std::uint32_t kWireSize = 24;
+};
+
+/// Route reply, unicast hop-by-hop back along the reverse path. The
+/// destination sequence number is what a black hole attacker inflates.
+struct RrepMsg final : sim::Payload {
+  sim::NodeId dest{sim::kNoNode};   ///< route destination (route_dst in Fig 6)
+  std::uint32_t dest_seq{0};
+  sim::NodeId orig{sim::kNoNode};   ///< route requester the reply travels to
+  std::uint32_t hop_count{0};
+  [[nodiscard]] std::string tag() const override { return "aodv.rrep"; }
+  static constexpr std::uint32_t kWireSize = 20;
+
+  /// Canonical byte form used as the inner-circle voting value; the chosen
+  /// next hop rides along so on_agreed can identify the designated receiver.
+  [[nodiscard]] static std::vector<std::uint8_t> wire_encode(const RrepMsg& rrep,
+                                                             sim::NodeId next_hop) {
+    core::WireWriter w;
+    w.u32(rrep.dest);
+    w.u32(rrep.dest_seq);
+    w.u32(rrep.orig);
+    w.u32(rrep.hop_count);
+    w.u32(next_hop);
+    return std::move(w).take();
+  }
+
+  [[nodiscard]] static std::optional<std::pair<RrepMsg, sim::NodeId>> wire_decode(
+      std::span<const std::uint8_t> bytes) {
+    core::WireReader r{bytes};
+    RrepMsg m;
+    const auto dest = r.u32();
+    const auto dest_seq = r.u32();
+    const auto orig = r.u32();
+    const auto hops = r.u32();
+    const auto next_hop = r.u32();
+    if (!dest || !dest_seq || !orig || !hops || !next_hop || !r.done()) return std::nullopt;
+    m.dest = *dest;
+    m.dest_seq = *dest_seq;
+    m.orig = *orig;
+    m.hop_count = *hops;
+    return std::make_pair(m, *next_hop);
+  }
+};
+
+/// Route error: destinations no longer reachable via the sender.
+struct RerrMsg final : sim::Payload {
+  std::vector<std::pair<sim::NodeId, std::uint32_t>> unreachable;  ///< (dest, seq)
+  [[nodiscard]] std::string tag() const override { return "aodv.rerr"; }
+  [[nodiscard]] std::uint32_t wire_size() const {
+    return static_cast<std::uint32_t>(8 + 8 * unreachable.size());
+  }
+};
+
+/// Application data carried over an AODV route. The payload itself is
+/// opaque; `app_bytes` models its size and `app_uid` identifies it for
+/// throughput accounting.
+struct DataMsg final : sim::Payload {
+  std::uint64_t app_uid{0};
+  std::uint32_t app_bytes{512};
+  sim::Time sent_at{0.0};  ///< origination time (latency accounting only)
+  [[nodiscard]] std::string tag() const override { return "aodv.data"; }
+};
+
+}  // namespace icc::aodv

@@ -1,0 +1,75 @@
+#include "aodv/watchdog.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace icc::aodv {
+
+Watchdog::Watchdog(Aodv& aodv, Params params) : aodv_{aodv}, params_{params} {
+  sim::Node& node = aodv_.node();
+
+  // Observe our own data transmissions that require onward forwarding.
+  node.add_outbound_filter([this](const sim::Packet& packet, sim::NodeId next_hop) {
+    if (packet.port == sim::Port::kCbr && next_hop != sim::kBroadcast &&
+        next_hop != packet.dst && packet.body_as<DataMsg>() != nullptr) {
+      on_outbound_data(packet, next_hop);
+    }
+    return sim::FilterVerdict::kPass;  // observer only
+  });
+
+  // Overhear the neighborhood for the next hop's retransmissions.
+  node.add_promiscuous_listener([this](const sim::Frame& frame) { on_overheard(frame); });
+
+  // Pathrater: ignore route replies from blacklisted nodes.
+  node.add_inbound_filter([this](const sim::Packet& packet, sim::NodeId from) {
+    if (blacklist_.count(from) != 0 && packet.body_as<RrepMsg>() != nullptr) {
+      aodv_.node().world().stats().add("watchdog.rrep_suppressed");
+      return sim::FilterVerdict::kDrop;
+    }
+    return sim::FilterVerdict::kPass;
+  });
+}
+
+void Watchdog::on_outbound_data(const sim::Packet& packet, sim::NodeId next_hop) {
+  const auto* data = packet.body_as<DataMsg>();
+  if (data->app_uid == 0 || blacklist_.count(next_hop) != 0) return;
+  sim::World& world = aodv_.node().world();
+  const std::uint64_t uid = data->app_uid;
+  pending_[uid] = Pending{next_hop, world.now() + params_.overhear_timeout};
+  world.sched().schedule_in(params_.overhear_timeout, [this, uid] { check_pending(uid); });
+}
+
+void Watchdog::on_overheard(const sim::Frame& frame) {
+  const auto* data = frame.packet.body_as<DataMsg>();
+  if (data == nullptr) return;
+  const auto it = pending_.find(data->app_uid);
+  if (it != pending_.end() && it->second.next_hop == frame.tx) {
+    pending_.erase(it);  // the hop forwarded: behaving correctly
+  }
+}
+
+void Watchdog::check_pending(std::uint64_t uid) {
+  const auto it = pending_.find(uid);
+  if (it == pending_.end()) return;
+  const sim::NodeId suspect = it->second.next_hop;
+  pending_.erase(it);
+  charge_failure(suspect);
+}
+
+void Watchdog::charge_failure(sim::NodeId suspect) {
+  sim::World& world = aodv_.node().world();
+  ++failures_charged_;
+  world.stats().add("watchdog.failures");
+  std::vector<sim::Time>& history = failures_[suspect];
+  history.push_back(world.now());
+  const sim::Time horizon = world.now() - params_.failure_window;
+  std::erase_if(history, [horizon](sim::Time t) { return t < horizon; });
+  if (static_cast<int>(history.size()) >= params_.tolerance &&
+      blacklist_.insert(suspect).second) {
+    world.stats().add("watchdog.blacklisted");
+    aodv_.invalidate_routes_via(suspect);
+  }
+}
+
+}  // namespace icc::aodv

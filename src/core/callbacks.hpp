@@ -1,0 +1,59 @@
+// Inner-circle Callbacks (§4, component 5): the application-provided hooks
+// that customize the voting service, mirroring the paper's callback set
+// (check, getVal, fuseVal, onAgr, ...). They are plain std::functions so an
+// application configures them at runtime — the shared-library / TinyOS-
+// component embodiment of Fig 2 collapses to function objects here.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "sim/types.hpp"
+
+namespace icc::core {
+
+struct Callbacks {
+  /// Deterministic voting `check`: does `value`, proposed by `center`,
+  /// satisfy the application-specific validity criterion?
+  std::function<bool(sim::NodeId center, const Value& value)> check;
+
+  /// Statistical voting `getVal`: this node's own observation corresponding
+  /// to the solicited `topic`; nullopt when the node has nothing to
+  /// contribute (it then simply does not reply).
+  std::function<std::optional<Value>(sim::NodeId center, const Value& topic)> get_value;
+
+  /// Statistical voting `fuseVal`: fault-tolerant fusion of the collected
+  /// observations (sorted by sender id; includes the center's own). Must be
+  /// deterministic — participants recompute it to validate the proposal.
+  std::function<Value(const std::vector<std::pair<sim::NodeId, Value>>& values)> fuse;
+
+  /// `onAgr`: a round completed; fires on the center (is_center == true,
+  /// decide where to forward the agreed message) and on every participant
+  /// that observes the agreed broadcast (update local state, e.g. the
+  /// AODV forwarding map of Fig 6).
+  std::function<void(const AgreedMsg& msg, bool is_center)> on_agreed;
+
+  /// Center only: the round timed out or was locally rejected.
+  std::function<void(std::uint64_t round, const Value& value)> on_abort;
+};
+
+/// Execution cost of cryptographic operations, charged to the simulated
+/// node. The two presets model the paper's dedicated Crypto-Processor /
+/// FT-Cluster-Processor hardware versus a software implementation ("up to
+/// two orders of magnitude less energy", §4).
+struct CryptoCostModel {
+  sim::Time sign_delay{0.5e-3};
+  sim::Time verify_delay{0.2e-3};
+  sim::Time combine_delay{1.0e-3};
+  double energy_per_op_j{0.5e-3};
+
+  static CryptoCostModel hardware() { return {}; }
+  static CryptoCostModel software() {
+    return CryptoCostModel{25e-3, 1.5e-3, 50e-3, 50e-3};
+  }
+};
+
+}  // namespace icc::core

@@ -1,0 +1,54 @@
+// Dependability-level calculus (§4.2).
+//
+// A center with N-node inner circle (center included) tolerating F node
+// failures — F_B Byzantine, F_C crash, F_L broken-link — chooses
+// L = N - F - 1, which guarantees T = L - F_B non-Byzantine approvals in
+// every completing round (Agreement), lets remote recipients rely on
+// verifying messages (Integrity), and keeps rounds startable (Termination).
+// Fixing L + 1 = 2N/3 and ignoring F_C, F_L recovers classical Byzantine
+// agreement: tolerance of N/3 - 1 Byzantine nodes with a correct majority
+// behind every agreed value.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+namespace icc::core {
+
+/// Failure budget a center wants to tolerate in one round.
+struct FailureBudget {
+  int byzantine{0};  ///< F_B
+  int crash{0};      ///< F_C
+  int link{0};       ///< F_L
+  [[nodiscard]] constexpr int total() const noexcept { return byzantine + crash + link; }
+};
+
+/// L = N - F - 1 (§4.2). Returns nullopt when the circle is too small to
+/// tolerate the budget at any usable level (L >= 1 requires N >= F + 2).
+[[nodiscard]] constexpr std::optional<int> dependability_level(int circle_size,
+                                                               FailureBudget budget) {
+  const int level = circle_size - budget.total() - 1;
+  if (level < 1) return std::nullopt;
+  return level;
+}
+
+/// Guaranteed number of non-Byzantine participants behind a completing
+/// round: T = L - F_B.
+[[nodiscard]] constexpr int guaranteed_correct(int level, FailureBudget budget) {
+  return level - budget.byzantine;
+}
+
+/// The classical-Byzantine-agreement special case: L + 1 = ceil(2N/3),
+/// which tolerates up to N/3 - 1 Byzantine nodes with a correct majority.
+[[nodiscard]] constexpr int byzantine_agreement_level(int circle_size) {
+  return (2 * circle_size + 2) / 3 - 1;  // ceil(2N/3) - 1
+}
+
+/// Maximum Byzantine nodes tolerable at a given (N, L) while keeping
+/// T >= 1 — the §5.1 condition under which only valid routes are
+/// established.
+[[nodiscard]] constexpr int max_byzantine_for_route_validity(int level) {
+  return std::max(level - 1, 0);
+}
+
+}  // namespace icc::core

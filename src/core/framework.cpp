@@ -1,0 +1,93 @@
+#include "core/framework.hpp"
+
+#include "sim/world.hpp"
+
+namespace icc::core {
+
+InnerCircleNode::InnerCircleNode(sim::Node& node, InnerCircleConfig config,
+                                 crypto::ThresholdScheme& scheme, crypto::Pki& pki,
+                                 const crypto::AsymmetricCipher& cipher)
+    : node_{node},
+      config_{[&config] {
+        InnerCircleConfig c = config;
+        c.ivs.circle_hops = c.circle_hops;
+        return c;
+      }()},
+      suspicions_{config.suspicion_duration},
+      sts_{node, config.sts, cipher},
+      ivs_{node,          config_.ivs,       sts_,
+           suspicions_,   scheme,            scheme.issue_signer(node.id()),
+           pki,           pki.issue_signer(node.id()),
+           callbacks_} {
+  node_.register_handler(sim::Port::kSts, [this](const sim::Packet& p, sim::NodeId from) {
+    sts_.handle_packet(p, from);
+  });
+  node_.register_handler(sim::Port::kIvs, [this](const sim::Packet& p, sim::NodeId from) {
+    ivs_.handle_packet(p, from);
+  });
+  node_.add_inbound_filter([this](const sim::Packet& p, sim::NodeId from) {
+    return filter_inbound(p, from);
+  });
+  node_.add_outbound_filter([this](const sim::Packet& p, sim::NodeId next_hop) {
+    return filter_outbound(p, next_hop);
+  });
+}
+
+void InnerCircleNode::start() { sts_.start(); }
+
+void InnerCircleNode::intercept_outgoing(Matcher match, Extractor extract) {
+  outgoing_rules_.push_back(InterceptRule{std::move(match), std::move(extract)});
+}
+
+void InnerCircleNode::suppress_incoming(IncomingMatcher match) {
+  incoming_rules_.push_back(std::move(match));
+}
+
+std::optional<AgreedMsg> InnerCircleNode::verify_agreed_bytes(
+    std::span<const std::uint8_t> bytes) const {
+  auto msg = AgreedMsg::deserialize(bytes);
+  if (!msg) return std::nullopt;
+  if (!ivs_.verify_agreed(*msg)) return std::nullopt;
+  return msg;
+}
+
+sim::FilterVerdict InnerCircleNode::filter_outbound(const sim::Packet& packet,
+                                                    sim::NodeId next_hop) {
+  for (const InterceptRule& rule : outgoing_rules_) {
+    if (rule.match(packet, next_hop)) {
+      // Redirect to the voting service (Fig 1: matching outgoing messages
+      // are handed to the inner-circle services instead of the link layer).
+      node_.world().stats().add("icc.outgoing_intercepted");
+      ivs_.initiate(config_.mode, config_.level, rule.extract(packet, next_hop));
+      return sim::FilterVerdict::kConsumed;
+    }
+  }
+  return sim::FilterVerdict::kPass;
+}
+
+sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
+                                                   sim::NodeId from) {
+  const sim::Time now = node_.world().now();
+  // Convicted nodes are cut off entirely; temporarily suspected nodes only
+  // lose access to the inner-circle services and guarded templates.
+  if (suspicions_.convicted(from)) {
+    node_.world().stats().add("icc.suppressed_convicted");
+    return sim::FilterVerdict::kDrop;
+  }
+  const bool suspected = suspicions_.suspected(from, now);
+  if (suspected && packet.port == sim::Port::kIvs) {
+    node_.world().stats().add("icc.suppressed_suspected");
+    return sim::FilterVerdict::kDrop;
+  }
+  for (const IncomingMatcher& match : incoming_rules_) {
+    if (match(packet)) {
+      // Guarded template: the raw protocol message must never be accepted
+      // off the air — only its agreed, signature-checked form is.
+      node_.world().stats().add("icc.suppressed_raw");
+      return sim::FilterVerdict::kDrop;
+    }
+  }
+  return sim::FilterVerdict::kPass;
+}
+
+}  // namespace icc::core

@@ -1,0 +1,34 @@
+#include "core/suspicions.hpp"
+
+namespace icc::core {
+
+void SuspicionsManager::suspect_temporarily(sim::NodeId id, sim::Time now,
+                                            const std::string& reason) {
+  auto [it, inserted] = temporary_.try_emplace(id, TempEntry{now + temporary_duration_, reason});
+  if (!inserted && it->second.until < now + temporary_duration_) {
+    it->second = TempEntry{now + temporary_duration_, reason};
+  }
+}
+
+void SuspicionsManager::convict(sim::NodeId id, const std::string& evidence) {
+  convicted_.try_emplace(id, evidence);
+}
+
+bool SuspicionsManager::suspected(sim::NodeId id, sim::Time now) const {
+  if (convicted_.count(id) != 0) return true;
+  const auto it = temporary_.find(id);
+  return it != temporary_.end() && it->second.until > now;
+}
+
+bool SuspicionsManager::convicted(sim::NodeId id) const { return convicted_.count(id) != 0; }
+
+std::vector<sim::NodeId> SuspicionsManager::suspects(sim::Time now) const {
+  std::vector<sim::NodeId> out;
+  for (const auto& [id, _] : convicted_) out.push_back(id);
+  for (const auto& [id, entry] : temporary_) {
+    if (entry.until > now && convicted_.count(id) == 0) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace icc::core

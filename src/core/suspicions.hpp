@@ -1,0 +1,49 @@
+// Suspicions Manager (§4, component 2).
+//
+// A node p suspects node q *permanently* only with provable evidence of
+// misbehavior (e.g., a properly signed message with an invalid field or one
+// that violates the executing protocol); otherwise suspicion is temporary.
+// The Inner-circle Interceptor consults this list to suppress traffic from
+// suspected nodes.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace icc::core {
+
+class SuspicionsManager {
+ public:
+  /// Default temporary-suspicion duration ("a few minutes" in the paper).
+  explicit SuspicionsManager(sim::Time temporary_duration = 120.0)
+      : temporary_duration_{temporary_duration} {}
+
+  /// Evidence-free suspicion: expires after the configured duration.
+  void suspect_temporarily(sim::NodeId id, sim::Time now, const std::string& reason);
+
+  /// Provable misbehavior: permanent conviction. A conviction never expires
+  /// and overrides any temporary entry.
+  void convict(sim::NodeId id, const std::string& evidence);
+
+  [[nodiscard]] bool suspected(sim::NodeId id, sim::Time now) const;
+  [[nodiscard]] bool convicted(sim::NodeId id) const;
+
+  /// All currently suspected nodes (tests / tracing).
+  [[nodiscard]] std::vector<sim::NodeId> suspects(sim::Time now) const;
+  [[nodiscard]] std::size_t conviction_count() const { return convicted_.size(); }
+
+ private:
+  struct TempEntry {
+    sim::Time until;
+    std::string reason;
+  };
+
+  sim::Time temporary_duration_;
+  std::unordered_map<sim::NodeId, TempEntry> temporary_;
+  std::unordered_map<sim::NodeId, std::string> convicted_;
+};
+
+}  // namespace icc::core

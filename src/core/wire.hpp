@@ -1,0 +1,91 @@
+// Canonical byte serialization for signed protocol content.
+//
+// Threshold signatures bind (source, round, level, value); STS beacon tags
+// bind (origin, seq, position, neighbor list). Both sides must serialize
+// identically, so all multi-byte fields are little-endian through these
+// helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace icc::core {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void str(const std::string& s) {
+    bytes(std::span{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader with explicit failure (nullopt) instead of exceptions: malformed
+/// input from Byzantine nodes is an expected event, not a program error.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  std::optional<std::uint8_t> u8() {
+    if (off_ + 1 > data_.size()) return std::nullopt;
+    return data_[off_++];
+  }
+  std::optional<std::uint32_t> u32() {
+    if (off_ + 4 > data_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[off_++]} << (8 * i);
+    return v;
+  }
+  std::optional<std::uint64_t> u64() {
+    if (off_ + 8 > data_.size()) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[off_++]} << (8 * i);
+    return v;
+  }
+  std::optional<double> f64() {
+    const auto bits = u64();
+    if (!bits) return std::nullopt;
+    double v;
+    std::memcpy(&v, &*bits, 8);
+    return v;
+  }
+  std::optional<std::vector<std::uint8_t>> bytes() {
+    const auto len = u32();
+    if (!len || off_ + *len > data_.size()) return std::nullopt;
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(off_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(off_ + *len));
+    off_ += *len;
+    return out;
+  }
+  [[nodiscard]] bool done() const noexcept { return off_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t off_{0};
+};
+
+}  // namespace icc::core

@@ -1,0 +1,386 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace icc::crypto {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}  // namespace
+
+Bignum Bignum::from_bytes(std::span<const std::uint8_t> bytes) {
+  Bignum out;
+  const std::size_t nbytes = bytes.size();
+  if (nbytes > kMaxLimbs * 8) throw std::length_error("Bignum::from_bytes overflow");
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    // bytes[0] is the most significant byte
+    const std::size_t bit_pos = (nbytes - 1 - i) * 8;
+    out.limb_[bit_pos / 64] |= u64{bytes[i]} << (bit_pos % 64);
+  }
+  out.n_ = static_cast<int>((nbytes * 8 + 63) / 64);
+  out.trim();
+  return out;
+}
+
+std::vector<std::uint8_t> Bignum::to_bytes(std::size_t width) const {
+  std::size_t min_width = static_cast<std::size_t>((bit_length() + 7) / 8);
+  if (min_width == 0) min_width = 1;
+  if (width == 0) width = min_width;
+  if (width < min_width) throw std::length_error("Bignum::to_bytes width too small");
+  std::vector<std::uint8_t> out(width, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit_pos = (width - 1 - i) * 8;
+    if (bit_pos / 64 < static_cast<std::size_t>(n_)) {
+      out[i] = static_cast<std::uint8_t>(limb_[bit_pos / 64] >> (bit_pos % 64));
+    }
+  }
+  return out;
+}
+
+Bignum Bignum::from_hex(std::string_view hex) {
+  Bignum out;
+  int bit = 0;
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it) {
+    const char c = *it;
+    u64 v = 0;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<u64>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<u64>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<u64>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("Bignum::from_hex: bad character");
+    }
+    if (bit / 64 >= static_cast<int>(kMaxLimbs)) throw std::length_error("Bignum::from_hex overflow");
+    out.limb_[static_cast<std::size_t>(bit / 64)] |= v << (bit % 64);
+    bit += 4;
+  }
+  out.n_ = (bit + 63) / 64;
+  out.trim();
+  return out;
+}
+
+std::string Bignum::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  bool started = false;
+  for (int i = n_ - 1; i >= 0; --i) {
+    for (int nib = 15; nib >= 0; --nib) {
+      const unsigned v = static_cast<unsigned>(limb_[static_cast<std::size_t>(i)] >> (nib * 4)) & 0xF;
+      if (!started && v == 0) continue;
+      started = true;
+      out.push_back(kHex[v]);
+    }
+  }
+  return out;
+}
+
+int Bignum::bit_length() const noexcept {
+  if (n_ == 0) return 0;
+  return n_ * 64 - std::countl_zero(limb_[static_cast<std::size_t>(n_ - 1)]);
+}
+
+bool Bignum::bit(int i) const noexcept {
+  if (i < 0 || i / 64 >= n_) return false;
+  return (limb_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1;
+}
+
+int Bignum::cmp(const Bignum& a, const Bignum& b) noexcept {
+  if (a.n_ != b.n_) return a.n_ < b.n_ ? -1 : 1;
+  for (int i = a.n_ - 1; i >= 0; --i) {
+    const u64 x = a.limb_[static_cast<std::size_t>(i)];
+    const u64 y = b.limb_[static_cast<std::size_t>(i)];
+    if (x != y) return x < y ? -1 : 1;
+  }
+  return 0;
+}
+
+Bignum Bignum::add(const Bignum& a, const Bignum& b) {
+  Bignum out;
+  const int n = std::max(a.n_, b.n_);
+  if (n + 1 > static_cast<int>(kMaxLimbs)) throw std::length_error("Bignum::add overflow");
+  u64 carry = 0;
+  for (int i = 0; i < n; ++i) {
+    const u128 s = u128{a.limb_[static_cast<std::size_t>(i)]} +
+                   b.limb_[static_cast<std::size_t>(i)] + carry;
+    out.limb_[static_cast<std::size_t>(i)] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  out.limb_[static_cast<std::size_t>(n)] = carry;
+  out.n_ = n + (carry ? 1 : 0);
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::add_u64(const Bignum& a, std::uint64_t v) { return add(a, Bignum{v}); }
+
+Bignum Bignum::sub(const Bignum& a, const Bignum& b) {
+  if (cmp(a, b) < 0) throw std::underflow_error("Bignum::sub: a < b");
+  Bignum out;
+  u64 borrow = 0;
+  for (int i = 0; i < a.n_; ++i) {
+    const u64 ai = a.limb_[static_cast<std::size_t>(i)];
+    const u64 bi = i < b.n_ ? b.limb_[static_cast<std::size_t>(i)] : 0;
+    const u64 t = ai - bi;
+    const u64 borrow1 = t > ai ? 1 : 0;
+    const u64 r = t - borrow;
+    const u64 borrow2 = r > t ? 1 : 0;
+    out.limb_[static_cast<std::size_t>(i)] = r;
+    borrow = borrow1 | borrow2;
+  }
+  out.n_ = a.n_;
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::mul(const Bignum& a, const Bignum& b) {
+  if (a.is_zero() || b.is_zero()) return Bignum{};
+  if (a.n_ + b.n_ > static_cast<int>(kMaxLimbs)) throw std::length_error("Bignum::mul overflow");
+  Bignum out;
+  for (int i = 0; i < a.n_; ++i) {
+    u64 carry = 0;
+    const u64 ai = a.limb_[static_cast<std::size_t>(i)];
+    for (int j = 0; j < b.n_; ++j) {
+      const u128 t = u128{ai} * b.limb_[static_cast<std::size_t>(j)] +
+                     out.limb_[static_cast<std::size_t>(i + j)] + carry;
+      out.limb_[static_cast<std::size_t>(i + j)] = static_cast<u64>(t);
+      carry = static_cast<u64>(t >> 64);
+    }
+    out.limb_[static_cast<std::size_t>(i + b.n_)] += carry;
+  }
+  out.n_ = a.n_ + b.n_;
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::mul_u64(const Bignum& a, std::uint64_t m) { return mul(a, Bignum{m}); }
+
+Bignum Bignum::shifted_left(unsigned bits) const {
+  Bignum out;
+  const int limb_shift = static_cast<int>(bits / 64);
+  const int bit_shift = static_cast<int>(bits % 64);
+  if (n_ + limb_shift + 1 > static_cast<int>(kMaxLimbs)) {
+    throw std::length_error("Bignum::shifted_left overflow");
+  }
+  for (int i = n_ - 1; i >= 0; --i) {
+    const u64 v = limb_[static_cast<std::size_t>(i)];
+    out.limb_[static_cast<std::size_t>(i + limb_shift)] |= bit_shift ? (v << bit_shift) : v;
+    if (bit_shift && i + limb_shift + 1 < static_cast<int>(kMaxLimbs)) {
+      out.limb_[static_cast<std::size_t>(i + limb_shift + 1)] |= v >> (64 - bit_shift);
+    }
+  }
+  out.n_ = std::min<int>(n_ + limb_shift + 1, static_cast<int>(kMaxLimbs));
+  out.trim();
+  return out;
+}
+
+Bignum Bignum::shifted_right(unsigned bits) const {
+  Bignum out;
+  const int limb_shift = static_cast<int>(bits / 64);
+  const int bit_shift = static_cast<int>(bits % 64);
+  if (limb_shift >= n_) return out;
+  for (int i = 0; i < n_ - limb_shift; ++i) {
+    u64 v = limb_[static_cast<std::size_t>(i + limb_shift)] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < n_) {
+      v |= limb_[static_cast<std::size_t>(i + limb_shift + 1)] << (64 - bit_shift);
+    }
+    out.limb_[static_cast<std::size_t>(i)] = v;
+  }
+  out.n_ = n_ - limb_shift;
+  out.trim();
+  return out;
+}
+
+void Bignum::divmod(const Bignum& a, const Bignum& b, Bignum& q, Bignum& r) {
+  if (b.is_zero()) throw std::domain_error("Bignum::divmod: division by zero");
+  q = Bignum{};
+  r = Bignum{};
+  if (cmp(a, b) < 0) {
+    r = a;
+    return;
+  }
+  if (b.n_ == 1) {
+    // Short division.
+    const u64 d = b.limb_[0];
+    u64 rem = 0;
+    q.n_ = a.n_;
+    for (int i = a.n_ - 1; i >= 0; --i) {
+      const u128 cur = (u128{rem} << 64) | a.limb_[static_cast<std::size_t>(i)];
+      q.limb_[static_cast<std::size_t>(i)] = static_cast<u64>(cur / d);
+      rem = static_cast<u64>(cur % d);
+    }
+    q.trim();
+    r = Bignum{rem};
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D.
+  const int shift = std::countl_zero(b.limb_[static_cast<std::size_t>(b.n_ - 1)]);
+  const Bignum v = b.shifted_left(static_cast<unsigned>(shift));
+  Bignum u = a.shifted_left(static_cast<unsigned>(shift));
+  const int n = v.n_;
+  const int m = u.n_ - n;  // may be -? u >= v so m >= 0
+  // Ensure u has an extra high limb u[m+n].
+  // (limb_ array is zero beyond n_, so indexing is safe.)
+
+  q = Bignum{};
+  for (int j = m; j >= 0; --j) {
+    const u64 ujn = u.limb_[static_cast<std::size_t>(j + n)];
+    const u64 ujn1 = u.limb_[static_cast<std::size_t>(j + n - 1)];
+    const u64 vn1 = v.limb_[static_cast<std::size_t>(n - 1)];
+    const u64 vn2 = v.limb_[static_cast<std::size_t>(n - 2)];
+    u128 qhat;
+    u128 rhat;
+    if (ujn == vn1) {
+      qhat = (u128{1} << 64) - 1;
+      rhat = (u128{ujn} << 64 | ujn1) - qhat * vn1;
+    } else {
+      const u128 num = (u128{ujn} << 64) | ujn1;
+      qhat = num / vn1;
+      rhat = num % vn1;
+    }
+    while (rhat <= ~u64{0} &&
+           qhat * vn2 > ((rhat << 64) | u.limb_[static_cast<std::size_t>(j + n - 2)])) {
+      --qhat;
+      rhat += vn1;
+    }
+
+    // Multiply-and-subtract: u[j..j+n] -= qhat * v.
+    u64 borrow = 0;
+    u64 carry = 0;
+    for (int i = 0; i < n; ++i) {
+      const u128 p = qhat * v.limb_[static_cast<std::size_t>(i)] + carry;
+      carry = static_cast<u64>(p >> 64);
+      const u128 t = u128{u.limb_[static_cast<std::size_t>(i + j)]} -
+                     static_cast<u64>(p) - borrow;
+      u.limb_[static_cast<std::size_t>(i + j)] = static_cast<u64>(t);
+      borrow = (t >> 64) ? 1 : 0;  // wrapped below zero
+    }
+    const u128 t = u128{u.limb_[static_cast<std::size_t>(j + n)]} - carry - borrow;
+    u.limb_[static_cast<std::size_t>(j + n)] = static_cast<u64>(t);
+    const bool went_negative = (t >> 64) != 0;
+
+    u64 qj = static_cast<u64>(qhat);
+    if (went_negative) {
+      // Add back one v.
+      --qj;
+      u64 c = 0;
+      for (int i = 0; i < n; ++i) {
+        const u128 s = u128{u.limb_[static_cast<std::size_t>(i + j)]} +
+                       v.limb_[static_cast<std::size_t>(i)] + c;
+        u.limb_[static_cast<std::size_t>(i + j)] = static_cast<u64>(s);
+        c = static_cast<u64>(s >> 64);
+      }
+      u.limb_[static_cast<std::size_t>(j + n)] += c;
+    }
+    q.limb_[static_cast<std::size_t>(j)] = qj;
+  }
+  q.n_ = m + 1;
+  q.trim();
+
+  // Remainder: u[0..n-1] shifted back.
+  Bignum rem;
+  for (int i = 0; i < n; ++i) rem.limb_[static_cast<std::size_t>(i)] = u.limb_[static_cast<std::size_t>(i)];
+  rem.n_ = n;
+  rem.trim();
+  r = rem.shifted_right(static_cast<unsigned>(shift));
+}
+
+Bignum Bignum::div(const Bignum& a, const Bignum& b) {
+  Bignum q;
+  Bignum r;
+  divmod(a, b, q, r);
+  return q;
+}
+
+Bignum Bignum::mod(const Bignum& a, const Bignum& m) {
+  Bignum q;
+  Bignum r;
+  divmod(a, m, q, r);
+  return r;
+}
+
+std::uint64_t Bignum::mod_u64(std::uint64_t m) const {
+  if (m == 0) throw std::domain_error("Bignum::mod_u64: division by zero");
+  u64 rem = 0;
+  for (int i = n_ - 1; i >= 0; --i) {
+    const u128 cur = (u128{rem} << 64) | limb_[static_cast<std::size_t>(i)];
+    rem = static_cast<u64>(cur % m);
+  }
+  return rem;
+}
+
+Bignum Bignum::modmul(const Bignum& a, const Bignum& b, const Bignum& m) {
+  return mod(mul(a, b), m);
+}
+
+Bignum Bignum::modexp(const Bignum& base, const Bignum& exp, const Bignum& m) {
+  if (m.is_zero()) throw std::domain_error("Bignum::modexp: zero modulus");
+  if (m.is_one()) return Bignum{};
+  Bignum result{1};
+  Bignum acc = mod(base, m);
+  const int bits = exp.bit_length();
+  for (int i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = modmul(result, acc, m);
+    if (i + 1 < bits) acc = modmul(acc, acc, m);
+  }
+  return result;
+}
+
+Bignum Bignum::gcd(Bignum a, Bignum b) {
+  while (!b.is_zero()) {
+    Bignum r = mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+Bignum Bignum::mod_inverse(const Bignum& a, const Bignum& m) {
+  // Extended Euclid with explicitly tracked signs.
+  Bignum r0 = mod(a, m);
+  Bignum r1 = m;
+  Bignum s0{1};
+  bool s0_neg = false;
+  Bignum s1{};
+  bool s1_neg = false;
+  while (!r1.is_zero()) {
+    Bignum q;
+    Bignum r2;
+    divmod(r0, r1, q, r2);
+    // s2 = s0 - q*s1 (signed)
+    const Bignum qs1 = mul(q, s1);
+    Bignum s2;
+    bool s2_neg;
+    if (s0_neg == s1_neg) {
+      // same sign: s0 - q*s1 may flip
+      if (cmp(s0, qs1) >= 0) {
+        s2 = sub(s0, qs1);
+        s2_neg = s0_neg;
+      } else {
+        s2 = sub(qs1, s0);
+        s2_neg = !s0_neg;
+      }
+    } else {
+      s2 = add(s0, qs1);
+      s2_neg = s0_neg;
+    }
+    r0 = r1;
+    r1 = r2;
+    s0 = s1;
+    s0_neg = s1_neg;
+    s1 = s2;
+    s1_neg = s2_neg;
+  }
+  if (!r0.is_one()) throw std::domain_error("Bignum::mod_inverse: not invertible");
+  Bignum inv = mod(s0, m);
+  if (s0_neg && !inv.is_zero()) inv = sub(m, inv);
+  return inv;
+}
+
+}  // namespace icc::crypto

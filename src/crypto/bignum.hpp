@@ -1,0 +1,103 @@
+// Fixed-capacity arbitrary-precision unsigned integers.
+//
+// Sized for RSA moduli up to 2048 bits plus the headroom that Shoup
+// threshold-RSA exponents (~|n| + l·log2 l bits) and double-width products
+// need. All operations are value-semantic and allocation-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icc::crypto {
+
+class Bignum {
+ public:
+  /// 72 limbs = 4608 bits: enough for products of two 2048-bit values plus
+  /// the factorial-sized exponents of threshold-RSA share combination.
+  static constexpr std::size_t kMaxLimbs = 72;
+
+  constexpr Bignum() = default;
+  explicit Bignum(std::uint64_t v) {
+    if (v != 0) {
+      limb_[0] = v;
+      n_ = 1;
+    }
+  }
+
+  /// Parse big-endian bytes (leading zeros fine).
+  static Bignum from_bytes(std::span<const std::uint8_t> bytes);
+  /// Serialize to big-endian bytes, fixed width (zero-padded); if width==0,
+  /// minimal width is used.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes(std::size_t width = 0) const;
+
+  static Bignum from_hex(std::string_view hex);
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return n_ == 0; }
+  [[nodiscard]] bool is_odd() const noexcept { return n_ > 0 && (limb_[0] & 1); }
+  [[nodiscard]] bool is_one() const noexcept { return n_ == 1 && limb_[0] == 1; }
+  [[nodiscard]] int bit_length() const noexcept;
+  [[nodiscard]] bool bit(int i) const noexcept;
+  [[nodiscard]] std::uint64_t low_u64() const noexcept { return n_ ? limb_[0] : 0; }
+
+  /// Three-way compare: negative, zero, positive.
+  static int cmp(const Bignum& a, const Bignum& b) noexcept;
+  friend bool operator==(const Bignum& a, const Bignum& b) noexcept { return cmp(a, b) == 0; }
+  friend bool operator<(const Bignum& a, const Bignum& b) noexcept { return cmp(a, b) < 0; }
+  friend bool operator<=(const Bignum& a, const Bignum& b) noexcept { return cmp(a, b) <= 0; }
+  friend bool operator>(const Bignum& a, const Bignum& b) noexcept { return cmp(a, b) > 0; }
+  friend bool operator>=(const Bignum& a, const Bignum& b) noexcept { return cmp(a, b) >= 0; }
+
+  static Bignum add(const Bignum& a, const Bignum& b);
+  /// Requires a >= b.
+  static Bignum sub(const Bignum& a, const Bignum& b);
+  static Bignum mul(const Bignum& a, const Bignum& b);
+  static Bignum mul_u64(const Bignum& a, std::uint64_t m);
+  static Bignum add_u64(const Bignum& a, std::uint64_t v);
+
+  /// Knuth Algorithm D: a = q*b + r with 0 <= r < b. Throws on b == 0.
+  static void divmod(const Bignum& a, const Bignum& b, Bignum& q, Bignum& r);
+  static Bignum div(const Bignum& a, const Bignum& b);
+  static Bignum mod(const Bignum& a, const Bignum& m);
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t m) const;
+
+  static Bignum modmul(const Bignum& a, const Bignum& b, const Bignum& m);
+  static Bignum modexp(const Bignum& base, const Bignum& exp, const Bignum& m);
+  static Bignum gcd(Bignum a, Bignum b);
+  /// Multiplicative inverse of a mod m; throws std::domain_error when
+  /// gcd(a, m) != 1.
+  static Bignum mod_inverse(const Bignum& a, const Bignum& m);
+
+  [[nodiscard]] Bignum shifted_left(unsigned bits) const;
+  [[nodiscard]] Bignum shifted_right(unsigned bits) const;
+
+  /// Uniform value with exactly `bits` bits (top bit set), from caller RNG
+  /// words. `word_source` must return independent uniform 64-bit words.
+  template <typename WordSource>
+  static Bignum random_bits(int bits, WordSource&& word_source) {
+    Bignum out;
+    const int limbs = (bits + 63) / 64;
+    for (int i = 0; i < limbs; ++i) out.limb_[static_cast<std::size_t>(i)] = word_source();
+    const int top_bits = bits - (limbs - 1) * 64;
+    std::uint64_t& top = out.limb_[static_cast<std::size_t>(limbs - 1)];
+    if (top_bits < 64) top &= (std::uint64_t{1} << top_bits) - 1;
+    top |= std::uint64_t{1} << (top_bits - 1);
+    out.n_ = limbs;
+    out.trim();
+    return out;
+  }
+
+ private:
+  void trim() noexcept {
+    while (n_ > 0 && limb_[static_cast<std::size_t>(n_ - 1)] == 0) --n_;
+  }
+
+  std::array<std::uint64_t, kMaxLimbs> limb_{};
+  int n_{0};  ///< number of significant limbs
+};
+
+}  // namespace icc::crypto

@@ -1,0 +1,50 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace icc::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> msg) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Digest kd = Sha256::hash(key);
+    std::memcpy(block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>{ipad});
+  inner.update(msg);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>{opad});
+  outer.update(std::span<const std::uint8_t>{inner_digest});
+  return outer.finish();
+}
+
+Digest hmac_sha256(const Digest& key, std::string_view msg) {
+  return hmac_sha256(std::span<const std::uint8_t>{key},
+                     std::span{reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()});
+}
+
+Digest hmac_sha256(const Digest& key, std::span<const std::uint8_t> msg) {
+  return hmac_sha256(std::span<const std::uint8_t>{key}, msg);
+}
+
+bool digest_equal(const Digest& a, const Digest& b) noexcept {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<unsigned>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace icc::crypto

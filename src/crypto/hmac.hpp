@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104). Used for authenticated STS beacons, session-key
+// MACs after the NS-Lowe handshake, and the simulation-grade signature
+// scheme's share tags.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace icc::crypto {
+
+/// HMAC-SHA256 of `msg` under `key`.
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> msg);
+
+/// Convenience for digest-sized keys and string messages.
+Digest hmac_sha256(const Digest& key, std::string_view msg);
+Digest hmac_sha256(const Digest& key, std::span<const std::uint8_t> msg);
+
+/// Constant-time-style digest comparison (simulation does not need the
+/// timing guarantee, but the idiom is kept for fidelity).
+bool digest_equal(const Digest& a, const Digest& b) noexcept;
+
+}  // namespace icc::crypto

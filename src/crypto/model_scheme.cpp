@@ -1,0 +1,114 @@
+#include "crypto/model_scheme.hpp"
+
+#include <cstring>
+#include <unordered_set>
+
+namespace icc::crypto {
+
+namespace {
+
+Digest u64_key(std::uint64_t v) {
+  std::array<std::uint8_t, 8> bytes{};
+  for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  return Sha256::hash(std::span<const std::uint8_t>{bytes});
+}
+
+Digest tag_for(const Digest& key, int level, std::span<const std::uint8_t> msg) {
+  // Domain-separate the level so a level-1 tag never verifies at level 2.
+  std::vector<std::uint8_t> buf;
+  buf.reserve(msg.size() + 4);
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(level >> (8 * i)));
+  buf.insert(buf.end(), msg.begin(), msg.end());
+  return hmac_sha256(key, std::span<const std::uint8_t>{buf});
+}
+
+class ModelSigner final : public ThresholdSigner {
+ public:
+  ModelSigner(std::uint32_t id, int max_level, std::vector<Digest> shares,
+              std::size_t sig_bytes)
+      : id_{id}, max_level_{max_level}, shares_{std::move(shares)}, sig_bytes_{sig_bytes} {}
+
+  [[nodiscard]] std::uint32_t id() const override { return id_; }
+
+  [[nodiscard]] PartialSig partial_sign(int level,
+                                        std::span<const std::uint8_t> msg) const override {
+    PartialSig ps;
+    ps.signer = id_;
+    ps.level = level;
+    if (level < 1 || level > max_level_) return ps;  // empty data: never verifies
+    const Digest tag = tag_for(shares_[static_cast<std::size_t>(level - 1)], level, msg);
+    ps.data.assign(tag.begin(), tag.end());
+    ps.data.resize(sig_bytes_, 0);  // pad to modeled on-air size
+    return ps;
+  }
+
+ private:
+  std::uint32_t id_;
+  int max_level_;
+  std::vector<Digest> shares_;  ///< one share per level, index level-1
+  std::size_t sig_bytes_;
+};
+
+}  // namespace
+
+ModelThresholdScheme::ModelThresholdScheme(std::uint64_t seed, int max_level, int key_bits)
+    : seed_key_{u64_key(seed)},
+      max_level_{max_level},
+      sig_bytes_{static_cast<std::size_t>(key_bits) / 8} {}
+
+Digest ModelThresholdScheme::master_key(int level) const {
+  return hmac_sha256(seed_key_, "K_L:" + std::to_string(level));
+}
+
+Digest ModelThresholdScheme::share_key(int level, std::uint32_t id) const {
+  return hmac_sha256(master_key(level), "share:" + std::to_string(id));
+}
+
+std::unique_ptr<ThresholdSigner> ModelThresholdScheme::issue_signer(std::uint32_t id) {
+  std::vector<Digest> shares;
+  shares.reserve(static_cast<std::size_t>(max_level_));
+  for (int level = 1; level <= max_level_; ++level) shares.push_back(share_key(level, id));
+  return std::make_unique<ModelSigner>(id, max_level_, std::move(shares), sig_bytes_);
+}
+
+bool ModelThresholdScheme::verify_partial(std::span<const std::uint8_t> msg,
+                                          const PartialSig& ps) const {
+  if (ps.level < 1 || ps.level > max_level_) return false;
+  if (ps.data.size() < 32) return false;
+  const Digest expected = tag_for(share_key(ps.level, ps.signer), ps.level, msg);
+  Digest got{};
+  std::memcpy(got.data(), ps.data.data(), got.size());
+  return digest_equal(expected, got);
+}
+
+std::optional<ThresholdSignature> ModelThresholdScheme::combine(
+    int level, std::span<const std::uint8_t> msg,
+    std::span<const PartialSig> partials) const {
+  if (level < 1 || level > max_level_) return std::nullopt;
+  std::unordered_set<std::uint32_t> distinct_valid;
+  for (const PartialSig& ps : partials) {
+    if (ps.level != level) continue;
+    if (!verify_partial(msg, ps)) continue;
+    distinct_valid.insert(ps.signer);
+  }
+  if (distinct_valid.size() < static_cast<std::size_t>(level) + 1) return std::nullopt;
+
+  ThresholdSignature sig;
+  sig.level = level;
+  const Digest tag = tag_for(master_key(level), level, msg);
+  sig.data.assign(tag.begin(), tag.end());
+  sig.data.resize(sig_bytes_, 0);
+  return sig;
+}
+
+bool ModelThresholdScheme::verify(std::span<const std::uint8_t> msg,
+                                  const ThresholdSignature& sig) const {
+  if (sig.level < 1 || sig.level > max_level_) return false;
+  if (sig.data.size() < 32) return false;
+  const Digest expected = tag_for(master_key(sig.level), sig.level, msg);
+  Digest got{};
+  std::memcpy(got.data(), sig.data.data(), got.size());
+  return digest_equal(expected, got);
+}
+
+}  // namespace icc::crypto

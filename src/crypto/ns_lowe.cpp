@@ -1,0 +1,133 @@
+#include "crypto/ns_lowe.hpp"
+
+#include <cstring>
+
+namespace icc::crypto {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{in[off + static_cast<std::size_t>(i)]} << (8 * i);
+  return v;
+}
+
+void put_nonce(std::vector<std::uint8_t>& out, const Nonce& n) {
+  out.insert(out.end(), n.begin(), n.end());
+}
+
+Nonce get_nonce(std::span<const std::uint8_t> in, std::size_t off) {
+  Nonce n{};
+  std::memcpy(n.data(), in.data() + off, n.size());
+  return n;
+}
+
+}  // namespace
+
+RsaCipher::RsaCipher(int key_bits, std::uint32_t num_principals, WordSource words) {
+  keys_.reserve(num_principals);
+  for (std::uint32_t i = 0; i < num_principals; ++i) {
+    keys_.push_back(rsa_generate(key_bits, words));
+  }
+}
+
+Ciphertext RsaCipher::encrypt(std::uint32_t to, std::span<const std::uint8_t> plain) const {
+  const RsaPublicKey& pub = keys_.at(to).pub;
+  const Bignum m = Bignum::from_bytes(plain);
+  Ciphertext ct;
+  ct.to = to;
+  // Prefix the plaintext length so decrypt can restore leading zero bytes.
+  ct.data.push_back(static_cast<std::uint8_t>(plain.size()));
+  const auto block = rsa_encrypt(pub, m).to_bytes(pub.modulus_bytes());
+  ct.data.insert(ct.data.end(), block.begin(), block.end());
+  return ct;
+}
+
+std::optional<std::vector<std::uint8_t>> RsaCipher::decrypt(std::uint32_t me,
+                                                            const Ciphertext& ct) const {
+  if (ct.to != me || me >= keys_.size() || ct.data.empty()) return std::nullopt;
+  const std::size_t len = ct.data[0];
+  const Bignum c = Bignum::from_bytes(std::span{ct.data}.subspan(1));
+  const Bignum m = rsa_decrypt(keys_[me], c);
+  std::vector<std::uint8_t> plain = m.to_bytes();
+  if (plain.size() > len) return std::nullopt;
+  // Restore stripped leading zeros.
+  std::vector<std::uint8_t> out(len - plain.size(), 0);
+  out.insert(out.end(), plain.begin(), plain.end());
+  return out;
+}
+
+NslSession NslSession::initiate(std::uint32_t a, std::uint32_t b, Nonce na) {
+  NslSession s;
+  s.local_ = a;
+  s.peer_ = b;
+  s.initiator_ = true;
+  s.na_ = na;
+  return s;
+}
+
+Ciphertext NslSession::message1(const AsymmetricCipher& cipher) const {
+  std::vector<std::uint8_t> plain;
+  put_nonce(plain, na_);
+  put_u32(plain, local_);
+  return cipher.encrypt(peer_, plain);
+}
+
+std::optional<NslSession> NslSession::respond(std::uint32_t b, const Ciphertext& msg1,
+                                              Nonce nb, const AsymmetricCipher& cipher) {
+  const auto plain = cipher.decrypt(b, msg1);
+  if (!plain || plain->size() != 16 + 4) return std::nullopt;
+  NslSession s;
+  s.local_ = b;
+  s.initiator_ = false;
+  s.na_ = get_nonce(*plain, 0);
+  s.peer_ = get_u32(*plain, 16);
+  s.nb_ = nb;
+  return s;
+}
+
+Ciphertext NslSession::message2(const AsymmetricCipher& cipher) const {
+  std::vector<std::uint8_t> plain;
+  put_nonce(plain, na_);
+  put_nonce(plain, nb_);
+  put_u32(plain, local_);  // Lowe's fix: the responder names itself
+  return cipher.encrypt(peer_, plain);
+}
+
+std::optional<Ciphertext> NslSession::on_message2(const Ciphertext& msg2,
+                                                  const AsymmetricCipher& cipher) {
+  if (!initiator_ || complete_) return std::nullopt;
+  const auto plain = cipher.decrypt(local_, msg2);
+  if (!plain || plain->size() != 16 + 16 + 4) return std::nullopt;
+  if (get_nonce(*plain, 0) != na_) return std::nullopt;           // replay / wrong run
+  if (get_u32(*plain, 32) != peer_) return std::nullopt;          // Lowe check
+  nb_ = get_nonce(*plain, 16);
+  complete_ = true;
+  derive_key();
+  std::vector<std::uint8_t> reply;
+  put_nonce(reply, nb_);
+  return cipher.encrypt(peer_, reply);
+}
+
+bool NslSession::on_message3(const Ciphertext& msg3, const AsymmetricCipher& cipher) {
+  if (initiator_ || complete_) return false;
+  const auto plain = cipher.decrypt(local_, msg3);
+  if (!plain || plain->size() != 16) return false;
+  if (get_nonce(*plain, 0) != nb_) return false;
+  complete_ = true;
+  derive_key();
+  return true;
+}
+
+void NslSession::derive_key() {
+  std::vector<std::uint8_t> seed;
+  put_nonce(seed, na_);
+  put_nonce(seed, nb_);
+  key_ = hmac_sha256(Sha256::hash(std::span<const std::uint8_t>{seed}), "nsl-session");
+}
+
+}  // namespace icc::crypto

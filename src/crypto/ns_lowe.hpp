@@ -1,0 +1,118 @@
+// Needham–Schroeder–Lowe public-key mutual authentication [17].
+//
+// The Secure Topology Service authenticates neighbor links with pairwise
+// session keys established by this three-message handshake:
+//
+//   1.  A -> B : {Na, A}pk(B)
+//   2.  B -> A : {Na, Nb, B}pk(A)     (Lowe's fix: B's identity included)
+//   3.  A -> B : {Nb}pk(B)
+//
+// Both sides then derive session_key = HMAC(Na || Nb, "nsl-session").
+//
+// The handshake is transport-agnostic: callers move the opaque message
+// payloads over whatever channel they have (in this repo, STS beacons and
+// unicast frames). Encryption is abstracted behind AsymmetricCipher with a
+// real-RSA and a simulation-grade implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+
+namespace icc::crypto {
+
+using Nonce = std::array<std::uint8_t, 16>;
+using SessionKey = Digest;
+
+/// A public-key ciphertext addressed to one principal.
+struct Ciphertext {
+  std::uint32_t to{0};
+  std::vector<std::uint8_t> data;
+};
+
+/// Public-key encryption abstraction for the handshake.
+class AsymmetricCipher {
+ public:
+  virtual ~AsymmetricCipher() = default;
+  [[nodiscard]] virtual Ciphertext encrypt(std::uint32_t to,
+                                           std::span<const std::uint8_t> plain) const = 0;
+  /// Decrypt succeeds only for `me == ct.to` (only the key owner can open).
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> decrypt(
+      std::uint32_t me, const Ciphertext& ct) const = 0;
+};
+
+/// Simulation-grade cipher: sealed-box semantics enforced by the `to` check.
+class ModelCipher final : public AsymmetricCipher {
+ public:
+  [[nodiscard]] Ciphertext encrypt(std::uint32_t to,
+                                   std::span<const std::uint8_t> plain) const override {
+    return Ciphertext{to, {plain.begin(), plain.end()}};
+  }
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decrypt(
+      std::uint32_t me, const Ciphertext& ct) const override {
+    if (ct.to != me) return std::nullopt;
+    return ct.data;
+  }
+};
+
+/// Real textbook-RSA cipher over per-principal keypairs (for tests/examples;
+/// payloads must fit one modulus block).
+class RsaCipher final : public AsymmetricCipher {
+ public:
+  explicit RsaCipher(int key_bits, std::uint32_t num_principals, WordSource words);
+
+  [[nodiscard]] Ciphertext encrypt(std::uint32_t to,
+                                   std::span<const std::uint8_t> plain) const override;
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decrypt(
+      std::uint32_t me, const Ciphertext& ct) const override;
+
+ private:
+  std::vector<RsaKeyPair> keys_;
+};
+
+/// One side of a handshake run. Create an initiator with start(); feed
+/// inbound payloads to the on_* methods; a populated session_key() means the
+/// peer is authenticated.
+class NslSession {
+ public:
+  /// A initiates authentication of (a, b).
+  static NslSession initiate(std::uint32_t a, std::uint32_t b, Nonce na);
+  /// B's side, created upon receiving message 1.
+  static std::optional<NslSession> respond(std::uint32_t b, const Ciphertext& msg1,
+                                           Nonce nb, const AsymmetricCipher& cipher);
+
+  /// Initiator: build message 1.
+  [[nodiscard]] Ciphertext message1(const AsymmetricCipher& cipher) const;
+  /// Responder: build message 2.
+  [[nodiscard]] Ciphertext message2(const AsymmetricCipher& cipher) const;
+  /// Initiator: consume message 2; returns message 3 on success.
+  [[nodiscard]] std::optional<Ciphertext> on_message2(const Ciphertext& msg2,
+                                                      const AsymmetricCipher& cipher);
+  /// Responder: consume message 3; completes the handshake on success.
+  bool on_message3(const Ciphertext& msg3, const AsymmetricCipher& cipher);
+
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] const SessionKey& session_key() const { return key_; }
+  [[nodiscard]] std::uint32_t local() const noexcept { return local_; }
+  [[nodiscard]] std::uint32_t peer() const noexcept { return peer_; }
+
+ private:
+  NslSession() = default;
+  void derive_key();
+
+  std::uint32_t local_{0};
+  std::uint32_t peer_{0};
+  bool initiator_{false};
+  Nonce na_{};
+  Nonce nb_{};
+  bool complete_{false};
+  SessionKey key_{};
+};
+
+}  // namespace icc::crypto

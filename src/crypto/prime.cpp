@@ -1,0 +1,81 @@
+#include "crypto/prime.hpp"
+
+#include <array>
+
+namespace icc::crypto {
+
+namespace {
+
+// Primes below 1000 for cheap trial-division prefiltering.
+constexpr std::array<std::uint16_t, 167> kSmallPrimes = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,
+    59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+    293, 307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383,
+    389, 397, 401, 409, 419, 421, 431, 433, 439, 443, 449, 457, 461, 463, 467,
+    479, 487, 491, 499, 503, 509, 521, 523, 541, 547, 557, 563, 569, 571, 577,
+    587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659, 661,
+    673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769,
+    773, 787, 797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877,
+    881, 883, 887, 907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983,
+    991, 997};
+
+}  // namespace
+
+bool is_probable_prime(const Bignum& n, int rounds, WordSource words) {
+  if (n.is_zero() || n.is_one()) return false;
+  if (!n.is_odd()) return n == Bignum{2};
+  for (const std::uint16_t p : kSmallPrimes) {
+    if (n == Bignum{p}) return true;
+    if (n.mod_u64(p) == 0) return false;
+  }
+
+  // n - 1 = d * 2^r with d odd.
+  const Bignum n_minus_1 = Bignum::sub(n, Bignum{1});
+  Bignum d = n_minus_1;
+  int r = 0;
+  while (!d.is_odd()) {
+    d = d.shifted_right(1);
+    ++r;
+  }
+
+  const int bits = n.bit_length();
+  for (int round = 0; round < rounds; ++round) {
+    // Random base a in [2, n-2]: draw bits-wide values until in range.
+    Bignum a;
+    do {
+      a = Bignum::mod(Bignum::random_bits(bits, words), n);
+    } while (a.is_zero() || a.is_one() || a == n_minus_1);
+
+    Bignum x = Bignum::modexp(a, d, n);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = Bignum::modmul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Bignum random_prime(int bits, WordSource words, int rounds) {
+  for (;;) {
+    Bignum candidate = Bignum::random_bits(bits, words);
+    if (!candidate.is_odd()) candidate = Bignum::add_u64(candidate, 1);
+    if (is_probable_prime(candidate, rounds, words)) return candidate;
+  }
+}
+
+Bignum random_rsa_prime(int bits, std::uint64_t e, WordSource words, int rounds) {
+  for (;;) {
+    const Bignum p = random_prime(bits, words, rounds);
+    if (Bignum::sub(p, Bignum{1}).mod_u64(e) != 0) return p;
+  }
+}
+
+}  // namespace icc::crypto

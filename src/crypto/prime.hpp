@@ -1,0 +1,24 @@
+// Probabilistic prime generation: trial division plus Miller–Rabin.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "crypto/bignum.hpp"
+
+namespace icc::crypto {
+
+/// Source of uniform 64-bit words (an adapter over sim::Rng or any engine).
+using WordSource = std::function<std::uint64_t()>;
+
+/// Miller–Rabin with `rounds` random bases. Error probability <= 4^-rounds.
+bool is_probable_prime(const Bignum& n, int rounds, WordSource words);
+
+/// Uniform random probable prime with exactly `bits` bits.
+Bignum random_prime(int bits, WordSource words, int rounds = 24);
+
+/// Random prime p such that p mod e != 1, so that e is invertible mod p-1
+/// (required for RSA key generation with public exponent e).
+Bignum random_rsa_prime(int bits, std::uint64_t e, WordSource words, int rounds = 24);
+
+}  // namespace icc::crypto

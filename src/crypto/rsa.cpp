@@ -1,0 +1,66 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+namespace icc::crypto {
+
+RsaKeyPair rsa_generate(int bits, WordSource words, std::uint64_t e) {
+  if (bits < 64) throw std::invalid_argument("rsa_generate: key too small");
+  const int half = bits / 2;
+  RsaKeyPair key;
+  key.pub.e = e;
+  for (;;) {
+    key.p = random_rsa_prime(half, e, words);
+    do {
+      key.q = random_rsa_prime(bits - half, e, words);
+    } while (key.q == key.p);
+    key.pub.n = Bignum::mul(key.p, key.q);
+    const Bignum phi = Bignum::mul(Bignum::sub(key.p, Bignum{1}), Bignum::sub(key.q, Bignum{1}));
+    if (Bignum::gcd(Bignum{e}, phi).is_one()) {
+      key.d = Bignum::mod_inverse(Bignum{e}, phi);
+      return key;
+    }
+  }
+}
+
+Bignum hash_to_group(std::span<const std::uint8_t> msg, const Bignum& n) {
+  // Expand SHA-256 with a counter until we cover the modulus width, then
+  // reduce mod n. A zero result is remapped to 1 (it cannot be signed).
+  const std::size_t want = static_cast<std::size_t>((n.bit_length() + 7) / 8);
+  std::vector<std::uint8_t> stream;
+  std::uint32_t counter = 0;
+  while (stream.size() < want + 8) {
+    Sha256 ctx;
+    const std::array<std::uint8_t, 4> ctr_bytes = {
+        static_cast<std::uint8_t>(counter >> 24), static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8), static_cast<std::uint8_t>(counter)};
+    ctx.update(std::span<const std::uint8_t>{ctr_bytes});
+    ctx.update(msg);
+    const Digest d = ctx.finish();
+    stream.insert(stream.end(), d.begin(), d.end());
+    ++counter;
+  }
+  stream.resize(want + 8);
+  Bignum h = Bignum::mod(Bignum::from_bytes(stream), n);
+  if (h.is_zero()) h = Bignum{1};
+  return h;
+}
+
+Bignum rsa_sign(const RsaKeyPair& key, std::span<const std::uint8_t> msg) {
+  return Bignum::modexp(hash_to_group(msg, key.pub.n), key.d, key.pub.n);
+}
+
+bool rsa_verify(const RsaPublicKey& pub, std::span<const std::uint8_t> msg, const Bignum& sigma) {
+  return Bignum::modexp(sigma, Bignum{pub.e}, pub.n) == hash_to_group(msg, pub.n);
+}
+
+Bignum rsa_encrypt(const RsaPublicKey& pub, const Bignum& v) {
+  if (v >= pub.n) throw std::invalid_argument("rsa_encrypt: value too large");
+  return Bignum::modexp(v, Bignum{pub.e}, pub.n);
+}
+
+Bignum rsa_decrypt(const RsaKeyPair& key, const Bignum& c) {
+  return Bignum::modexp(c, key.d, key.pub.n);
+}
+
+}  // namespace icc::crypto

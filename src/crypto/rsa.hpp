@@ -1,0 +1,47 @@
+// Plain RSA with full-domain-style hashing: the building block under the
+// Shoup threshold scheme, also usable standalone (STS message authentication
+// tests, NS-Lowe with real asymmetric encryption).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/sha256.hpp"
+
+namespace icc::crypto {
+
+struct RsaPublicKey {
+  Bignum n;
+  std::uint64_t e{65537};
+  [[nodiscard]] std::size_t modulus_bytes() const {
+    return static_cast<std::size_t>((n.bit_length() + 7) / 8);
+  }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  Bignum d;       ///< private exponent
+  Bignum p, q;    ///< prime factors (kept for threshold dealing)
+};
+
+/// Generate a `bits`-wide RSA key (bits split evenly between p and q).
+RsaKeyPair rsa_generate(int bits, WordSource words, std::uint64_t e = 65537);
+
+/// Hash a message into Z_n* ("full-domain hash" built from SHA-256 counters).
+Bignum hash_to_group(std::span<const std::uint8_t> msg, const Bignum& n);
+
+/// Deterministic hash-then-sign: sigma = H(m)^d mod n.
+Bignum rsa_sign(const RsaKeyPair& key, std::span<const std::uint8_t> msg);
+
+/// Verify sigma^e == H(m) mod n.
+bool rsa_verify(const RsaPublicKey& pub, std::span<const std::uint8_t> msg, const Bignum& sigma);
+
+/// Textbook RSA encryption of a short value v < n (used by the NS-Lowe
+/// handshake demo; real deployments would pad — documented in DESIGN.md).
+Bignum rsa_encrypt(const RsaPublicKey& pub, const Bignum& v);
+Bignum rsa_decrypt(const RsaKeyPair& key, const Bignum& c);
+
+}  // namespace icc::crypto

@@ -1,0 +1,81 @@
+// Protocol-facing threshold-signature interface (paper §2/§3).
+//
+// For each dependability level L in [1, max_level] there is a secret signing
+// key K_L that no node holds; node i holds an (L+1)-threshold share of K_L.
+// An agreed message carries a signature under K_L, which proves to any
+// remote recipient that at least L+1 nodes (the source plus L inner-circle
+// members) cooperated.
+//
+// Two implementations:
+//  * ShoupThresholdScheme — real threshold RSA (crypto/threshold_rsa.hpp).
+//  * ModelThresholdScheme — simulation-grade HMAC construction with the same
+//    protocol-visible behaviour at negligible CPU cost (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace icc::crypto {
+
+/// A node's contribution to a threshold signature.
+struct PartialSig {
+  std::uint32_t signer{0};  ///< node id of the contributor
+  int level{0};             ///< dependability level L it was made for
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const PartialSig&) const = default;
+};
+
+/// A combined (self-checking) signature carried by an agreed message.
+struct ThresholdSignature {
+  int level{0};
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const ThresholdSignature&) const = default;
+  [[nodiscard]] bool empty() const { return data.empty(); }
+};
+
+/// The per-node secret material: issued once by the trusted dealer at system
+/// initialization (paper §2). A compromised node leaks only its own signer.
+class ThresholdSigner {
+ public:
+  virtual ~ThresholdSigner() = default;
+  [[nodiscard]] virtual std::uint32_t id() const = 0;
+  /// Partial signature over `msg` with this node's share of K_level.
+  [[nodiscard]] virtual PartialSig partial_sign(int level,
+                                                std::span<const std::uint8_t> msg) const = 0;
+};
+
+/// Public scheme operations plus the dealer role.
+class ThresholdScheme {
+ public:
+  virtual ~ThresholdScheme() = default;
+
+  [[nodiscard]] virtual int max_level() const = 0;
+
+  /// Dealer: issue node `id` its shares. Call once per node at init time.
+  [[nodiscard]] virtual std::unique_ptr<ThresholdSigner> issue_signer(std::uint32_t id) = 0;
+
+  /// Check a single partial signature (used to convict misbehaving voters).
+  [[nodiscard]] virtual bool verify_partial(std::span<const std::uint8_t> msg,
+                                            const PartialSig& ps) const = 0;
+
+  /// Fuse >= level+1 valid partials from distinct signers into a combined
+  /// signature; nullopt if there are not enough.
+  [[nodiscard]] virtual std::optional<ThresholdSignature> combine(
+      int level, std::span<const std::uint8_t> msg,
+      std::span<const PartialSig> partials) const = 0;
+
+  /// Remote-recipient verification (Integrity property, §4.2).
+  [[nodiscard]] virtual bool verify(std::span<const std::uint8_t> msg,
+                                    const ThresholdSignature& sig) const = 0;
+
+  /// On-air sizes used by the simulator to account bandwidth/energy.
+  [[nodiscard]] virtual std::size_t partial_sig_bytes() const = 0;
+  [[nodiscard]] virtual std::size_t signature_bytes() const = 0;
+};
+
+}  // namespace icc::crypto

@@ -1,0 +1,63 @@
+#include "crypto/shamir.hpp"
+
+#include <stdexcept>
+
+namespace icc::crypto {
+
+std::vector<ShamirShare> shamir_share(const Bignum& secret, const Bignum& modulus,
+                                      std::uint32_t num_shares, std::uint32_t threshold,
+                                      WordSource words) {
+  if (threshold == 0 || threshold > num_shares) {
+    throw std::invalid_argument("shamir_share: bad threshold");
+  }
+  // f(x) = secret + a1 x + ... + a_{t-1} x^{t-1} (mod m)
+  std::vector<Bignum> coeff;
+  coeff.push_back(Bignum::mod(secret, modulus));
+  const int bits = modulus.bit_length() + 64;
+  for (std::uint32_t i = 1; i < threshold; ++i) {
+    coeff.push_back(Bignum::mod(Bignum::random_bits(bits, words), modulus));
+  }
+
+  std::vector<ShamirShare> shares;
+  shares.reserve(num_shares);
+  for (std::uint32_t x = 1; x <= num_shares; ++x) {
+    // Horner evaluation at x.
+    Bignum acc;
+    for (auto it = coeff.rbegin(); it != coeff.rend(); ++it) {
+      acc = Bignum::mod(Bignum::add(Bignum::mul_u64(acc, x), *it), modulus);
+    }
+    shares.push_back(ShamirShare{x, acc});
+  }
+  return shares;
+}
+
+Bignum shamir_reconstruct(const std::vector<ShamirShare>& shares, const Bignum& m) {
+  Bignum secret;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    // Lagrange basis at 0: prod_j (-x_j) / (x_i - x_j) mod m.
+    Bignum num{1};
+    Bignum den{1};
+    bool negative = false;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      num = Bignum::mod(Bignum::mul_u64(num, shares[j].index), m);
+      negative = !negative;  // the (-x_j) sign
+      const std::uint32_t xi = shares[i].index;
+      const std::uint32_t xj = shares[j].index;
+      if (xi == xj) throw std::invalid_argument("shamir_reconstruct: duplicate share index");
+      if (xi > xj) {
+        den = Bignum::mod(Bignum::mul_u64(den, xi - xj), m);
+      } else {
+        den = Bignum::mod(Bignum::mul_u64(den, xj - xi), m);
+        negative = !negative;
+      }
+    }
+    Bignum basis = Bignum::modmul(num, Bignum::mod_inverse(den, m), m);
+    Bignum term = Bignum::modmul(shares[i].value, basis, m);
+    if (negative && !term.is_zero()) term = Bignum::sub(m, term);
+    secret = Bignum::mod(Bignum::add(secret, term), m);
+  }
+  return secret;
+}
+
+}  // namespace icc::crypto

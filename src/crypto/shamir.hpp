@@ -1,0 +1,32 @@
+// Shamir polynomial secret sharing over Z_m.
+//
+// Used by the threshold-RSA dealer to split the private exponent, and
+// standalone (over a prime modulus) as the paper's "(L+1)-threshold share of
+// K_L" abstraction (§2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "crypto/prime.hpp"
+
+namespace icc::crypto {
+
+struct ShamirShare {
+  std::uint32_t index;  ///< x-coordinate, 1-based
+  Bignum value;         ///< f(index) mod m
+};
+
+/// Split `secret` into `num_shares` shares over Z_m such that any
+/// `threshold` of them determine it (polynomial degree threshold-1).
+std::vector<ShamirShare> shamir_share(const Bignum& secret, const Bignum& modulus,
+                                      std::uint32_t num_shares, std::uint32_t threshold,
+                                      WordSource words);
+
+/// Reconstruct the secret from >= threshold shares. Requires a *prime*
+/// modulus (Lagrange interpolation needs inverses); the threshold-RSA
+/// combiner avoids this requirement with the Delta = l! trick instead.
+Bignum shamir_reconstruct(const std::vector<ShamirShare>& shares, const Bignum& prime_modulus);
+
+}  // namespace icc::crypto

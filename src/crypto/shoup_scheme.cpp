@@ -1,0 +1,98 @@
+#include "crypto/shoup_scheme.hpp"
+
+#include <stdexcept>
+
+namespace icc::crypto {
+
+namespace {
+
+class ShoupSigner final : public ThresholdSigner {
+ public:
+  ShoupSigner(std::uint32_t id, const ShoupThresholdScheme& scheme,
+              std::vector<ShamirShare> shares)
+      : id_{id}, scheme_{scheme}, shares_{std::move(shares)} {}
+
+  [[nodiscard]] std::uint32_t id() const override { return id_; }
+
+  [[nodiscard]] PartialSig partial_sign(int level,
+                                        std::span<const std::uint8_t> msg) const override {
+    PartialSig ps;
+    ps.signer = id_;
+    ps.level = level;
+    if (level < 1 || level > scheme_.max_level()) return ps;
+    const ThresholdRsa& key = scheme_.key(level);
+    const ThresholdRsa::PartialSignature raw =
+        key.partial_sign(shares_[static_cast<std::size_t>(level - 1)], msg);
+    ps.data = raw.value.to_bytes(key.public_key().modulus_bytes());
+    return ps;
+  }
+
+ private:
+  std::uint32_t id_;
+  const ShoupThresholdScheme& scheme_;
+  std::vector<ShamirShare> shares_;  ///< one per level, index level-1
+};
+
+}  // namespace
+
+ShoupThresholdScheme::ShoupThresholdScheme(int key_bits, std::uint32_t num_players,
+                                           int max_level, WordSource words) {
+  if (max_level < 1) throw std::invalid_argument("ShoupThresholdScheme: max_level >= 1");
+  keys_.reserve(static_cast<std::size_t>(max_level));
+  for (int level = 1; level <= max_level; ++level) {
+    const std::uint32_t threshold = static_cast<std::uint32_t>(level) + 1;
+    if (threshold > num_players) {
+      throw std::invalid_argument("ShoupThresholdScheme: level+1 exceeds player count");
+    }
+    keys_.push_back(ThresholdRsa::deal(key_bits, num_players, threshold, words));
+  }
+  sig_bytes_ = keys_.front().public_key().modulus_bytes();
+}
+
+std::unique_ptr<ThresholdSigner> ShoupThresholdScheme::issue_signer(std::uint32_t id) {
+  std::vector<ShamirShare> shares;
+  shares.reserve(keys_.size());
+  for (const ThresholdRsa& key : keys_) shares.push_back(key.share(id));
+  return std::make_unique<ShoupSigner>(id, *this, std::move(shares));
+}
+
+bool ShoupThresholdScheme::verify_partial(std::span<const std::uint8_t> msg,
+                                          const PartialSig& ps) const {
+  // Without Shoup's ZK correctness proofs, a single partial is validated by
+  // recomputing it from the dealer-side share (the dealer is trusted, §2).
+  if (ps.level < 1 || ps.level > max_level()) return false;
+  const ThresholdRsa& key = keys_[static_cast<std::size_t>(ps.level - 1)];
+  if (ps.signer >= key.num_players()) return false;
+  const ThresholdRsa::PartialSignature expected = key.partial_sign(key.share(ps.signer), msg);
+  return expected.value.to_bytes(key.public_key().modulus_bytes()) == ps.data;
+}
+
+std::optional<ThresholdSignature> ShoupThresholdScheme::combine(
+    int level, std::span<const std::uint8_t> msg,
+    std::span<const PartialSig> partials) const {
+  if (level < 1 || level > max_level()) return std::nullopt;
+  const ThresholdRsa& key = keys_[static_cast<std::size_t>(level - 1)];
+  std::vector<ThresholdRsa::PartialSignature> raw;
+  raw.reserve(partials.size());
+  for (const PartialSig& ps : partials) {
+    if (ps.level != level || ps.signer >= key.num_players()) continue;
+    raw.push_back(ThresholdRsa::PartialSignature{
+        ps.signer + 1, Bignum::from_bytes(ps.data)});  // share indices are 1-based
+  }
+  const std::optional<Bignum> sigma = key.combine(raw, msg);
+  if (!sigma) return std::nullopt;
+  ThresholdSignature sig;
+  sig.level = level;
+  sig.data = sigma->to_bytes(key.public_key().modulus_bytes());
+  return sig;
+}
+
+bool ShoupThresholdScheme::verify(std::span<const std::uint8_t> msg,
+                                  const ThresholdSignature& sig) const {
+  if (sig.level < 1 || sig.level > max_level()) return false;
+  const ThresholdRsa& key = keys_[static_cast<std::size_t>(sig.level - 1)];
+  if (sig.data.size() != key.public_key().modulus_bytes()) return false;
+  return key.verify(msg, Bignum::from_bytes(sig.data));
+}
+
+}  // namespace icc::crypto

@@ -1,0 +1,43 @@
+// ThresholdScheme adapter over real Shoup threshold RSA: one independently
+// dealt RSA key per dependability level L, with signing threshold L+1.
+//
+// Intended for unit/integration tests, the crypto micro-benchmarks, and
+// small end-to-end simulations; network-scale runs use ModelThresholdScheme
+// for CPU reasons (DESIGN.md §3).
+#pragma once
+
+#include <vector>
+
+#include "crypto/scheme.hpp"
+#include "crypto/threshold_rsa.hpp"
+
+namespace icc::crypto {
+
+class ShoupThresholdScheme final : public ThresholdScheme {
+ public:
+  /// Deals `max_level` keys among `num_players`; level L requires L+1
+  /// cooperating players.
+  ShoupThresholdScheme(int key_bits, std::uint32_t num_players, int max_level,
+                       WordSource words);
+
+  [[nodiscard]] int max_level() const override { return static_cast<int>(keys_.size()); }
+  [[nodiscard]] std::unique_ptr<ThresholdSigner> issue_signer(std::uint32_t id) override;
+  [[nodiscard]] bool verify_partial(std::span<const std::uint8_t> msg,
+                                    const PartialSig& ps) const override;
+  [[nodiscard]] std::optional<ThresholdSignature> combine(
+      int level, std::span<const std::uint8_t> msg,
+      std::span<const PartialSig> partials) const override;
+  [[nodiscard]] bool verify(std::span<const std::uint8_t> msg,
+                            const ThresholdSignature& sig) const override;
+  [[nodiscard]] std::size_t partial_sig_bytes() const override { return sig_bytes_; }
+  [[nodiscard]] std::size_t signature_bytes() const override { return sig_bytes_; }
+
+  /// Direct access to the level-L key (tests, benchmarks).
+  [[nodiscard]] const ThresholdRsa& key(int level) const { return keys_.at(static_cast<std::size_t>(level - 1)); }
+
+ private:
+  std::vector<ThresholdRsa> keys_;  ///< index L-1
+  std::size_t sig_bytes_{0};
+};
+
+}  // namespace icc::crypto

@@ -1,0 +1,157 @@
+#include "crypto/threshold_rsa.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace icc::crypto {
+
+namespace {
+
+/// Prime p with p ≡ 3 (mod 4) (Blum condition) and e coprime to (p-1)/2.
+Bignum blum_rsa_prime(int bits, std::uint64_t e, WordSource& words) {
+  for (;;) {
+    const Bignum p = random_prime(bits, words);
+    if (p.mod_u64(4) != 3) continue;
+    const Bignum half = Bignum::sub(p, Bignum{1}).shifted_right(1);
+    if (half.mod_u64(e) != 0) return p;
+  }
+}
+
+}  // namespace
+
+ThresholdRsa ThresholdRsa::deal(int key_bits, std::uint32_t num_players,
+                                std::uint32_t threshold, WordSource words) {
+  if (threshold == 0 || threshold > num_players) {
+    throw std::invalid_argument("ThresholdRsa::deal: bad threshold");
+  }
+  if (num_players >= 65537) {
+    throw std::invalid_argument("ThresholdRsa::deal: too many players (e must exceed l)");
+  }
+
+  ThresholdRsa out;
+  out.threshold_ = threshold;
+  out.pub_.e = 65537;
+
+  const int half = key_bits / 2;
+  Bignum p = blum_rsa_prime(half, out.pub_.e, words);
+  Bignum q;
+  do {
+    q = blum_rsa_prime(key_bits - half, out.pub_.e, words);
+  } while (q == p);
+  out.pub_.n = Bignum::mul(p, q);
+
+  // m = ((p-1)/2) * ((q-1)/2): a multiple of the exponent of the subgroup of
+  // squares of Z_n* when p, q are Blum primes.
+  const Bignum m = Bignum::mul(Bignum::sub(p, Bignum{1}).shifted_right(1),
+                               Bignum::sub(q, Bignum{1}).shifted_right(1));
+  const Bignum d = Bignum::mod_inverse(Bignum{out.pub_.e}, m);
+
+  out.share_modulus_ = m;
+  out.shares_ = shamir_share(d, m, num_players, threshold, words);
+
+  out.delta_ = Bignum{1};
+  for (std::uint32_t i = 2; i <= num_players; ++i) {
+    out.delta_ = Bignum::mul_u64(out.delta_, i);
+  }
+  return out;
+}
+
+std::uint32_t ThresholdRsa::refresh_shares(WordSource words) {
+  // A fresh sharing of zero on the same x-coordinates: adding it to the
+  // existing shares re-randomizes the polynomial without moving f(0) = d.
+  const auto zero_shares =
+      shamir_share(Bignum{}, share_modulus_, num_players(), threshold_, words);
+  for (std::size_t i = 0; i < shares_.size(); ++i) {
+    shares_[i].value =
+        Bignum::mod(Bignum::add(shares_[i].value, zero_shares[i].value), share_modulus_);
+  }
+  return ++epoch_;
+}
+
+ThresholdRsa::PartialSignature ThresholdRsa::partial_sign(
+    const ShamirShare& share, std::span<const std::uint8_t> msg) const {
+  const Bignum h = hash_to_group(msg, pub_.n);
+  // exponent = 2 * Delta * s_i
+  const Bignum exp = Bignum::mul(Bignum{2}, Bignum::mul(delta_, share.value));
+  return PartialSignature{share.index, Bignum::modexp(h, exp, pub_.n)};
+}
+
+std::optional<Bignum> ThresholdRsa::combine(std::span<const PartialSignature> partials,
+                                            std::span<const std::uint8_t> msg) const {
+  // Select the first `threshold` partials with distinct indices.
+  std::vector<const PartialSignature*> chosen;
+  std::unordered_set<std::uint32_t> seen;
+  for (const PartialSignature& ps : partials) {
+    if (ps.index == 0 || ps.index > num_players()) continue;
+    if (!seen.insert(ps.index).second) continue;
+    chosen.push_back(&ps);
+    if (chosen.size() == threshold_) break;
+  }
+  if (chosen.size() < threshold_) return std::nullopt;
+
+  const Bignum h = hash_to_group(msg, pub_.n);
+
+  // w = prod_i x_i^{2*lambda_i} where lambda_i = Delta * prod_{j != i} j/(j-i)
+  // is an exact integer (possibly negative).
+  Bignum w{1};
+  for (const PartialSignature* pi : chosen) {
+    Bignum num = delta_;
+    Bignum den{1};
+    bool negative = false;
+    for (const PartialSignature* pj : chosen) {
+      if (pj == pi) continue;
+      num = Bignum::mul_u64(num, pj->index);
+      if (pj->index > pi->index) {
+        den = Bignum::mul_u64(den, pj->index - pi->index);
+      } else {
+        den = Bignum::mul_u64(den, pi->index - pj->index);
+        negative = !negative;
+      }
+    }
+    Bignum lambda;
+    Bignum rem;
+    Bignum::divmod(num, den, lambda, rem);
+    if (!rem.is_zero()) return std::nullopt;  // cannot happen for valid indices
+
+    Bignum base = Bignum::mod(pi->value, pub_.n);
+    if (negative) {
+      // Negative exponent: invert the base. Failure to invert would reveal a
+      // factor of n; treat as a combination failure.
+      try {
+        base = Bignum::mod_inverse(base, pub_.n);
+      } catch (const std::domain_error&) {
+        return std::nullopt;
+      }
+    }
+    w = Bignum::modmul(w, Bignum::modexp(base, Bignum::mul(Bignum{2}, lambda), pub_.n), pub_.n);
+  }
+
+  // w^e == H^{4*Delta^2}; bridge the exponent gap with a*4*Delta^2 + b*e = 1.
+  const Bignum four_delta_sq = Bignum::mul(Bignum{4}, Bignum::mul(delta_, delta_));
+  const Bignum e_bn{pub_.e};
+  // a = (4*Delta^2)^{-1} mod e  (e prime > l, so the inverse exists)
+  const Bignum a = Bignum::mod_inverse(Bignum::mod(four_delta_sq, e_bn), e_bn);
+  // b = (1 - 4*Delta^2*a) / e   (exact, negative unless a == 0)
+  const Bignum prod = Bignum::mul(four_delta_sq, a);
+  Bignum y = Bignum::modexp(w, a, pub_.n);
+  if (prod.is_one()) {
+    // b == 0
+  } else {
+    Bignum b_mag;
+    Bignum rem;
+    Bignum::divmod(Bignum::sub(prod, Bignum{1}), e_bn, b_mag, rem);
+    if (!rem.is_zero()) return std::nullopt;
+    Bignum h_inv;
+    try {
+      h_inv = Bignum::mod_inverse(h, pub_.n);
+    } catch (const std::domain_error&) {
+      return std::nullopt;
+    }
+    y = Bignum::modmul(y, Bignum::modexp(h_inv, b_mag, pub_.n), pub_.n);
+  }
+
+  if (!verify(msg, y)) return std::nullopt;  // some partial was corrupt
+  return y;
+}
+
+}  // namespace icc::crypto

@@ -1,0 +1,87 @@
+// Shoup's practical threshold RSA signatures [8].
+//
+// A trusted dealer generates an RSA key, splits the private exponent d into
+// l Shamir shares over Z_m (m = (p-1)(q-1)/4, with Blum-integer primes so
+// the subgroup of squares has exponent dividing m), and hands share s_i to
+// player i. Any k players produce partial signatures x_i = H(msg)^{2*Delta*s_i}
+// that combine — via integer Lagrange coefficients scaled by Delta = l! —
+// into a standard RSA signature verifiable with the public key alone.
+//
+// Deviations from Shoup's paper, documented in DESIGN.md §3: no safe-prime
+// requirement (Blum integers suffice for correctness; safe primes only
+// tighten the security proof) and no zero-knowledge correctness proofs for
+// partial signatures (the combiner instead validates the final signature).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/shamir.hpp"
+
+namespace icc::crypto {
+
+class ThresholdRsa {
+ public:
+  struct PartialSignature {
+    std::uint32_t index;  ///< player share index (1-based)
+    Bignum value;         ///< H(msg)^{2*Delta*s_i} mod n
+  };
+
+  /// Deal a `key_bits` RSA key among `num_players`, any `threshold` of which
+  /// can sign. Requires 1 <= threshold <= num_players < 65537.
+  static ThresholdRsa deal(int key_bits, std::uint32_t num_players, std::uint32_t threshold,
+                           WordSource words);
+
+  [[nodiscard]] const RsaPublicKey& public_key() const noexcept { return pub_; }
+  [[nodiscard]] std::uint32_t num_players() const noexcept {
+    return static_cast<std::uint32_t>(shares_.size());
+  }
+  [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+  [[nodiscard]] const Bignum& delta() const noexcept { return delta_; }
+
+  /// The share held by `player` (0-based). In a deployment each player only
+  /// ever sees its own entry.
+  [[nodiscard]] const ShamirShare& share(std::uint32_t player) const {
+    return shares_.at(player);
+  }
+
+  /// Player-side operation: partial signature with the given share.
+  [[nodiscard]] PartialSignature partial_sign(const ShamirShare& share,
+                                              std::span<const std::uint8_t> msg) const;
+
+  /// Combine >= threshold partials (distinct indices) into an RSA signature.
+  /// Returns nullopt if not enough distinct partials are supplied or the
+  /// combined signature fails verification (some partial was corrupt).
+  [[nodiscard]] std::optional<Bignum> combine(std::span<const PartialSignature> partials,
+                                              std::span<const std::uint8_t> msg) const;
+
+  /// Anyone-side verification against the public key.
+  [[nodiscard]] bool verify(std::span<const std::uint8_t> msg, const Bignum& sigma) const {
+    return rsa_verify(pub_, msg, sigma);
+  }
+
+  /// Proactive secret sharing [9] (the §2 extension): re-randomize every
+  /// share by adding a fresh degree-(threshold-1) sharing of zero. Old and
+  /// new shares interpolate the same private exponent, but any mix of the
+  /// two epochs is useless — an adversary must compromise `threshold`
+  /// players within one epoch. Returns the refresh epoch number.
+  std::uint32_t refresh_shares(WordSource words);
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+ private:
+  ThresholdRsa() = default;
+
+  RsaPublicKey pub_;
+  std::uint32_t threshold_{0};
+  Bignum delta_;    ///< l!
+  Bignum share_modulus_;  ///< m = ((p-1)/2)((q-1)/2), kept for refresh
+  std::uint32_t epoch_{0};
+  std::vector<ShamirShare> shares_;
+};
+
+}  // namespace icc::crypto

@@ -1,0 +1,79 @@
+// The paper's Fault-Tolerant Cluster algorithm (§4.3, Fig 4).
+//
+// Given L observations p_i = Theta + N_i, up to F of which may be
+// arbitrarily corrupted, iteratively discard the observation farthest from
+// the centroid of the others whenever that distance exceeds threshold eta;
+// the estimate is the centroid of the surviving cluster. Unlike
+// approximate-agreement style fusion (ft_mean.hpp) nothing is discarded when
+// all observations are consistent, so accuracy is not sacrificed in the
+// fault-free common case — the property the paper's inner-circle fusion
+// relies on for small circles (10–15 members).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "fusion/point.hpp"
+
+namespace icc::fusion {
+
+template <FusionPoint P>
+struct FtClusterResult {
+  P estimate{};                        ///< centroid of the fault-tolerant cluster
+  std::vector<P> cluster;              ///< surviving observations
+  std::vector<std::size_t> excluded;   ///< original indices of discarded points
+};
+
+/// Parameter eta: two correct observations should exceed distance eta only
+/// with negligible probability (the paper sets eta from the noise stddev).
+template <FusionPoint P>
+FtClusterResult<P> ft_cluster(const std::vector<P>& points, double eta) {
+  FtClusterResult<P> result;
+  std::vector<P> cluster = points;
+  std::vector<std::size_t> index(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) index[i] = i;
+
+  bool change = cluster.size() > 2;
+  while (change) {
+    change = false;
+    // d_i = || p_i - centroid(C \ p_i) || for every point in the cluster.
+    double worst_d = -1.0;
+    std::size_t worst_i = 0;
+    std::vector<P> without;
+    without.reserve(cluster.size() - 1);
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      without.clear();
+      for (std::size_t j = 0; j < cluster.size(); ++j) {
+        if (j != i) without.push_back(cluster[j]);
+      }
+      const double d = point_distance(cluster[i], centroid(without));
+      if (d > worst_d) {
+        worst_d = d;
+        worst_i = i;
+      }
+    }
+    if (worst_d > eta) {
+      result.excluded.push_back(index[worst_i]);
+      cluster.erase(cluster.begin() + static_cast<std::ptrdiff_t>(worst_i));
+      index.erase(index.begin() + static_cast<std::ptrdiff_t>(worst_i));
+      change = cluster.size() > 2;
+    }
+  }
+
+  result.estimate = centroid(cluster);
+  result.cluster = std::move(cluster);
+  return result;
+}
+
+/// Worst-case extra estimation error when F of N observations collude at the
+/// adversarially optimal offset (paper §4.3): E* = (F/N) * deltaF*, with
+/// deltaF* = deltaC / (1 - 2F/N). Returns +inf when F >= N/2.
+inline double ft_cluster_worst_case_error(std::size_t n, std::size_t f, double delta_c) {
+  const double ratio = static_cast<double>(f) / static_cast<double>(n);
+  if (ratio >= 0.5) return std::numeric_limits<double>::infinity();
+  const double delta_f_star = delta_c / (1.0 - 2.0 * ratio);
+  return ratio * delta_f_star;
+}
+
+}  // namespace icc::fusion

@@ -1,0 +1,28 @@
+#include "fusion/ft_mean.hpp"
+
+namespace icc::fusion {
+
+double ft_mean(std::vector<double> points, std::size_t f) {
+  if (points.size() <= 2 * f) {
+    throw std::invalid_argument("ft_mean: need more than 2F observations");
+  }
+  std::sort(points.begin(), points.end());
+  double sum = 0.0;
+  const std::size_t n = points.size() - f;
+  for (std::size_t i = f; i < n; ++i) sum += points[i];
+  return sum / static_cast<double>(n - f);
+}
+
+Vec2 ft_mean(const std::vector<Vec2>& points, std::size_t f) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const Vec2& p : points) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  return Vec2{ft_mean(std::move(xs), f), ft_mean(std::move(ys), f)};
+}
+
+}  // namespace icc::fusion

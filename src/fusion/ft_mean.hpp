@@ -1,0 +1,24 @@
+// Fault-tolerant mean, the approximate-agreement baseline [18, 19] the paper
+// compares its FT-cluster algorithm against: always discard the F smallest
+// and F largest observations and average the rest. Robust, but it throws
+// away 2F good observations even when nothing is faulty — the accuracy
+// limitation §4.3 motivates FT-cluster with.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "fusion/point.hpp"
+
+namespace icc::fusion {
+
+/// Scalar fault-tolerant mean: drop the F extremes on each side.
+/// Requires points.size() > 2*F.
+double ft_mean(std::vector<double> points, std::size_t f);
+
+/// Component-wise extension for 2-D observations (as used for position
+/// fusion by the collaborative target-detection baseline [19]).
+Vec2 ft_mean(const std::vector<Vec2>& points, std::size_t f);
+
+}  // namespace icc::fusion

@@ -1,0 +1,37 @@
+// Point abstractions for fault-tolerant fusion: the algorithms of §4.3 work
+// on any type with vector-space operations and a norm — scalars (energy
+// readings) and 2-D positions are the two instantiations the paper uses.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "sim/vec2.hpp"
+
+namespace icc::fusion {
+
+using sim::Vec2;
+
+inline double centroid(std::span<const double> pts) {
+  double sum = 0.0;
+  for (double p : pts) sum += p;
+  return pts.empty() ? 0.0 : sum / static_cast<double>(pts.size());
+}
+
+inline Vec2 centroid(std::span<const Vec2> pts) {
+  Vec2 sum;
+  for (const Vec2& p : pts) sum += p;
+  return pts.empty() ? Vec2{} : sum / static_cast<double>(pts.size());
+}
+
+inline double point_distance(double a, double b) { return std::abs(a - b); }
+inline double point_distance(Vec2 a, Vec2 b) { return sim::distance(a, b); }
+
+/// Concept satisfied by the fusion point types.
+template <typename P>
+concept FusionPoint = requires(P a, P b, std::span<const P> s) {
+  { centroid(s) } -> std::convertible_to<P>;
+  { point_distance(a, b) } -> std::convertible_to<double>;
+};
+
+}  // namespace icc::fusion

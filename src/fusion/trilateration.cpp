@@ -1,0 +1,47 @@
+#include "fusion/trilateration.hpp"
+
+#include <cmath>
+
+namespace icc::fusion {
+
+std::optional<Vec2> trilaterate(const RangeObservation& a, const RangeObservation& b,
+                                const RangeObservation& c, double min_area) {
+  // Geometric quality gate: area of the anchor triangle via cross product.
+  const Vec2 ab = b.anchor - a.anchor;
+  const Vec2 ac = c.anchor - a.anchor;
+  const double area = 0.5 * std::abs(ab.x * ac.y - ab.y * ac.x);
+  if (area < min_area) return std::nullopt;
+
+  // Subtracting circle equations pairwise yields a linear system:
+  //   2(x_b - x_a) x + 2(y_b - y_a) y = (d_a^2 - d_b^2) + (x_b^2+y_b^2) - (x_a^2+y_a^2)
+  const double a1 = 2.0 * (b.anchor.x - a.anchor.x);
+  const double b1 = 2.0 * (b.anchor.y - a.anchor.y);
+  const double c1 = a.dist * a.dist - b.dist * b.dist + b.anchor.norm2() - a.anchor.norm2();
+  const double a2 = 2.0 * (c.anchor.x - b.anchor.x);
+  const double b2 = 2.0 * (c.anchor.y - b.anchor.y);
+  const double c2 = b.dist * b.dist - c.dist * c.dist + c.anchor.norm2() - b.anchor.norm2();
+
+  const double det = a1 * b2 - a2 * b1;
+  // Scale-aware singularity test: collinear anchors give det ~ 0.
+  const double scale = std::abs(a1) + std::abs(b1) + std::abs(a2) + std::abs(b2);
+  if (std::abs(det) < 1e-9 * scale * scale + 1e-12) return std::nullopt;
+
+  return Vec2{(c1 * b2 - c2 * b1) / det, (a1 * c2 - a2 * c1) / det};
+}
+
+std::vector<Vec2> trilaterate_all_triples(const std::vector<RangeObservation>& obs,
+                                          std::size_t max_triples, double min_area) {
+  std::vector<Vec2> out;
+  const std::size_t n = obs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      for (std::size_t k = j + 1; k < n; ++k) {
+        if (out.size() >= max_triples) return out;
+        if (const auto p = trilaterate(obs[i], obs[j], obs[k], min_area)) out.push_back(*p);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace icc::fusion

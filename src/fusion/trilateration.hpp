@@ -1,0 +1,35 @@
+// Trilateration: recover a target position from three (anchor, distance)
+// pairs. The sensor case study (§5.2) computes per-sensor target distances
+// from the energy-decay law, trilaterates every triple, and filters the
+// resulting position estimates with the FT-cluster algorithm.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fusion/point.hpp"
+
+namespace icc::fusion {
+
+/// One range observation: an anchor position and its estimated distance to
+/// the unknown target.
+struct RangeObservation {
+  Vec2 anchor;
+  double dist{0.0};
+};
+
+/// Solve the linearized three-circle intersection. Returns nullopt when the
+/// anchor triangle's area is below `min_area` (near-collinear anchors make
+/// the system ill-conditioned and the linearized solution extrapolates
+/// wildly under measurement noise).
+std::optional<Vec2> trilaterate(const RangeObservation& a, const RangeObservation& b,
+                                const RangeObservation& c, double min_area = 25.0);
+
+/// Trilaterate every distinct triple out of `obs` (up to `max_triples`, to
+/// bound the O(n^3) blow-up) and return all solvable position estimates —
+/// the "3L estimates" fed to FT-cluster in §5.2.
+std::vector<Vec2> trilaterate_all_triples(const std::vector<RangeObservation>& obs,
+                                          std::size_t max_triples = 64,
+                                          double min_area = 25.0);
+
+}  // namespace icc::fusion

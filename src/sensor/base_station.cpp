@@ -1,0 +1,66 @@
+#include "sensor/base_station.hpp"
+
+#include "core/messages.hpp"
+#include "sim/world.hpp"
+
+namespace icc::sensor {
+
+BaseStation::BaseStation(sim::Node& node, Diffusion& diffusion,
+                         const crypto::ThresholdScheme* scheme, CentralizedRule rule)
+    : node_{node}, scheme_{scheme}, rule_{rule} {
+  diffusion.set_sink_handler([this](const NotificationMsg& msg, sim::NodeId) {
+    handle_notification(msg);
+  });
+}
+
+void BaseStation::handle_notification(const NotificationMsg& msg) {
+  const sim::Time now = node_.world().now();
+  if (scheme_ == nullptr) {
+    // Centralized: a raw sample from one sensor's stream. Run the detection
+    // rule here — declare when `debounce` consecutive samples from the same
+    // sensor clear the threshold.
+    const auto reading = Reading::deserialize(msg.data);
+    if (!reading) {
+      ++rejected_;
+      return;
+    }
+    ++readings_;
+    SensorStream& stream = streams_[msg.origin];
+    if (reading->energy > rule_.lambda) {
+      const bool consecutive_epoch =
+          reading->t - stream.last_t < 1.6 * rule_.sample_period;
+      stream.consecutive = consecutive_epoch ? stream.consecutive + 1 : 1;
+      stream.last_t = reading->t;
+      if (stream.consecutive >= rule_.debounce) {
+        detections_.push_back(Detection{now, reading->t, reading->pos, 1, msg.origin});
+      }
+    } else {
+      stream.consecutive = 0;
+      stream.last_t = reading->t;
+    }
+    return;
+  }
+
+  // Inner-circle: unwrap and verify the agreed message before trusting it.
+  const auto agreed = core::AgreedMsg::deserialize(msg.data);
+  if (!agreed) {
+    ++rejected_;
+    return;
+  }
+  const auto signed_bytes = core::AgreedMsg::signed_bytes(agreed->source, agreed->round,
+                                                          agreed->level, agreed->value);
+  if (agreed->sig.level != agreed->level || !scheme_->verify(signed_bytes, agreed->sig)) {
+    ++rejected_;
+    node_.world().stats().add("bs.agreed_rejected");
+    return;
+  }
+  const auto fused = FusedNotification::deserialize(agreed->value);
+  if (!fused || !fused->valid) {
+    ++rejected_;
+    return;
+  }
+  detections_.push_back(
+      Detection{now, fused->t, fused->target_pos, fused->detectors, agreed->source});
+}
+
+}  // namespace icc::sensor

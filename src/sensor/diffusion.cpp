@@ -1,0 +1,108 @@
+#include "sensor/diffusion.hpp"
+
+#include "sim/world.hpp"
+
+namespace icc::sensor {
+
+namespace {
+constexpr std::uint64_t kDiffRngSalt = 0xD1FFull;
+}
+
+Diffusion::Diffusion(sim::Node& node, sim::NodeId sink, Params params)
+    : node_{node},
+      sink_{sink},
+      params_{params},
+      rng_{node.world().fork_rng(kDiffRngSalt + node.id())} {
+  node_.register_handler(sim::Port::kDiffusion,
+                         [this](const sim::Packet& p, sim::NodeId from) {
+                           handle_packet(p, from);
+                         });
+  if (node_.id() == sink_) {
+    node_.world().sched().schedule_in(params_.first_interest, [this] { flood_interest(); });
+  }
+}
+
+bool Diffusion::has_gradient() const {
+  return node_.id() == sink_ ||
+         (parent_ != sim::kNoNode &&
+          node_.world().now() - gradient_time_ <= params_.gradient_lifetime);
+}
+
+void Diffusion::flood_interest() {
+  auto interest = std::make_shared<InterestMsg>();
+  interest->sink = node_.id();
+  interest->seq = ++interest_seq_;
+  interest->hops = 0;
+
+  sim::Packet packet;
+  packet.src = node_.id();
+  packet.dst = sim::kBroadcast;
+  packet.port = sim::Port::kDiffusion;
+  packet.size_bytes = InterestMsg::kWireSize;
+  packet.body = std::move(interest);
+  node_.link_send(std::move(packet), sim::kBroadcast);
+  node_.world().stats().add("diff.interests_sent");
+
+  node_.world().sched().schedule_in(params_.interest_period, [this] { flood_interest(); });
+}
+
+void Diffusion::handle_packet(const sim::Packet& packet, sim::NodeId from) {
+  if (const auto* interest = packet.body_as<InterestMsg>()) {
+    if (node_.id() == sink_ || interest->sink != sink_) return;
+    const bool fresher = interest->seq > best_seq_;
+    const bool better = interest->seq == best_seq_ && interest->hops + 1 < best_hops_;
+    if (!fresher && !better) return;
+    best_seq_ = interest->seq;
+    best_hops_ = interest->hops + 1;
+    parent_ = from;
+    gradient_time_ = node_.world().now();
+
+    auto fwd = std::make_shared<InterestMsg>(*interest);
+    fwd->hops += 1;
+    sim::Packet p;
+    p.src = node_.id();
+    p.dst = sim::kBroadcast;
+    p.port = sim::Port::kDiffusion;
+    p.size_bytes = InterestMsg::kWireSize;
+    p.body = std::move(fwd);
+    // Jitter the re-flood so neighboring rebroadcasts do not collide.
+    node_.world().sched().schedule_in(rng_.uniform(0.0, 0.02), [this, p = std::move(p)] {
+      node_.link_send(sim::Packet{p}, sim::kBroadcast);
+    });
+    return;
+  }
+  if (const auto* notification = packet.body_as<NotificationMsg>()) {
+    if (node_.id() == sink_) {
+      node_.world().stats().add("diff.notifications_delivered");
+      if (sink_handler_) sink_handler_(*notification, from);
+    } else {
+      forward(*notification);
+    }
+  }
+}
+
+void Diffusion::send_to_sink(std::vector<std::uint8_t> data) {
+  auto msg = std::make_shared<NotificationMsg>();
+  msg->origin = node_.id();
+  msg->uid = next_uid_++;
+  msg->data = std::move(data);
+  node_.world().stats().add("diff.notifications_sent");
+  forward(*msg);
+}
+
+void Diffusion::forward(const NotificationMsg& msg) {
+  if (!has_gradient()) {
+    node_.world().stats().add("diff.no_gradient_drop");
+    return;
+  }
+  auto body = std::make_shared<NotificationMsg>(msg);
+  sim::Packet packet;
+  packet.src = msg.origin;
+  packet.dst = sink_;
+  packet.port = sim::Port::kDiffusion;
+  packet.size_bytes = body->wire_size();
+  packet.body = std::move(body);
+  node_.link_send(std::move(packet), parent_);
+}
+
+}  // namespace icc::sensor

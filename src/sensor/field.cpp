@@ -1,0 +1,69 @@
+#include "sensor/field.hpp"
+
+namespace icc::sensor {
+
+const char* fault_name(FaultType f) {
+  switch (f) {
+    case FaultType::kNone:
+      return "no-fault";
+    case FaultType::kStuckAtZero:
+      return "stuck-at-zero";
+    case FaultType::kCalibration:
+      return "calibration";
+    case FaultType::kInterference:
+      return "interference";
+    case FaultType::kPositionError:
+      return "position";
+  }
+  return "?";
+}
+
+TargetField TargetField::periodic(SignalModel model, sim::Time sim_time, sim::Time period,
+                                  sim::Time duration, double area, sim::Rng& rng,
+                                  sim::Time first_start) {
+  std::vector<TargetEvent> events;
+  for (sim::Time t = first_start; t + duration <= sim_time; t += period) {
+    TargetEvent event;
+    event.start = t;
+    event.duration = duration;
+    // Keep the target inside the bulk of the field so a circle around it
+    // exists (uniform with a 15% margin).
+    const double margin = 0.15 * area;
+    event.location = {rng.uniform(margin, area - margin), rng.uniform(margin, area - margin)};
+    events.push_back(event);
+  }
+  return TargetField{model, std::move(events)};
+}
+
+std::optional<sim::Vec2> TargetField::active_target(sim::Time t) const {
+  for (const TargetEvent& event : events_) {
+    if (event.active_at(t)) return event.location;
+  }
+  return std::nullopt;
+}
+
+double TargetField::measure(sim::Vec2 pos, sim::Time t, sim::Rng& rng) const {
+  return sample(pos, t, FaultType::kNone, FaultParams{}, rng);
+}
+
+double TargetField::sample(sim::Vec2 pos, sim::Time t, FaultType fault,
+                           const FaultParams& params, sim::Rng& rng) const {
+  double s = 0.0;
+  if (const auto u = active_target(t)) s = model_.signal(sim::distance(pos, *u));
+  const double n = rng.normal(0.0, model_.sigma_n);
+  const double n2 = n * n;
+  switch (fault) {
+    case FaultType::kNone:
+    case FaultType::kPositionError:  // affects the reported position, not E
+      return s + n2;
+    case FaultType::kStuckAtZero:
+      return 0.0;
+    case FaultType::kCalibration:
+      return params.eps_clbr * (s + n2);
+    case FaultType::kInterference:
+      return s + params.eps_intf * n2;
+  }
+  return s + n2;
+}
+
+}  // namespace icc::sensor

@@ -1,0 +1,106 @@
+// Target/sensing physics for the faulty-sensor case study (§5.2).
+//
+// A target at location u emits energy that decays polynomially with
+// distance (Eqn 4); sensor i measures E_i = S_i(u) + N_i^2 with
+// N_i ~ N(0, sigma_N), and detects with the Neyman–Pearson rule E_i > lambda
+// (lambda = 6.635 keeps the per-sample false-alarm probability at
+// alpha = 0.01 for sigma_N = 1, the chi-square_1 0.99 quantile).
+//
+// The four sensor fault models come verbatim from the paper: stuck-at-zero,
+// calibration error (multiplicative), signal interference (amplified noise),
+// and positioning error (wrong self-position).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "sim/vec2.hpp"
+
+namespace icc::sensor {
+
+/// Eqn 4 parameters.
+struct SignalModel {
+  double kt{20000.0};   ///< K*T, emitted power x sampling duration
+  double decay_k{2.0};  ///< polynomial decay exponent
+  double d0{1.0};       ///< near-field saturation distance
+  double sigma_n{1.0};  ///< measurement noise stddev
+  double lambda{6.635}; ///< Neyman-Pearson threshold (alpha = 0.01)
+
+  /// Noise-free signal at distance d from the target (Eqn 4).
+  [[nodiscard]] double signal(double d) const {
+    if (d < d0) return kt;
+    double atten = 1.0;
+    // d^k for the (small integer or fractional) decay exponent.
+    atten = std::pow(d / d0, decay_k);
+    return kt / atten;
+  }
+
+  /// Distance implied by a net (noise-corrected) signal estimate — the
+  /// inverse of Eqn 4, used for trilateration in §5.2.
+  [[nodiscard]] double distance_from_signal(double s) const {
+    if (s >= kt) return 0.0;
+    return d0 * std::pow(kt / s, 1.0 / decay_k);
+  }
+};
+
+/// The paper's sensor fault models.
+enum class FaultType : std::uint8_t {
+  kNone = 0,
+  kStuckAtZero,
+  kCalibration,    ///< E = eps_clbr * (S + N^2)
+  kInterference,   ///< E = S + eps_intf * N^2
+  kPositionError,  ///< reported position ~ Uniform(region)
+};
+
+[[nodiscard]] const char* fault_name(FaultType f);
+
+struct FaultParams {
+  double eps_clbr{2.0};
+  double eps_intf{10.0};
+};
+
+/// One target appearance.
+struct TargetEvent {
+  sim::Time start{0.0};
+  sim::Time duration{25.0};
+  sim::Vec2 location;
+  [[nodiscard]] bool active_at(sim::Time t) const {
+    return t >= start && t < start + duration;
+  }
+};
+
+/// World-level ground truth: the schedule of target appearances ("single
+/// target of 25 s duration every 100 s") and the measurement sampler.
+class TargetField {
+ public:
+  TargetField(SignalModel model, std::vector<TargetEvent> events)
+      : model_{model}, events_{std::move(events)} {}
+
+  /// Schedule matching the paper: one target per `period`, active for
+  /// `duration`, at a uniform random location, for a run of `sim_time`.
+  static TargetField periodic(SignalModel model, sim::Time sim_time, sim::Time period,
+                              sim::Time duration, double area, sim::Rng& rng,
+                              sim::Time first_start = 30.0);
+
+  [[nodiscard]] const SignalModel& model() const noexcept { return model_; }
+  [[nodiscard]] const std::vector<TargetEvent>& events() const noexcept { return events_; }
+
+  [[nodiscard]] std::optional<sim::Vec2> active_target(sim::Time t) const;
+
+  /// True (fault-free) measurement of a sensor at `pos`: S + N^2.
+  [[nodiscard]] double measure(sim::Vec2 pos, sim::Time t, sim::Rng& rng) const;
+
+  /// Measurement including the sensor's fault, exactly per the paper's four
+  /// formulas (stuck: E=0; calibration: E=eps*(S+N^2); interference:
+  /// E=S+eps*N^2; position error leaves E untouched).
+  [[nodiscard]] double sample(sim::Vec2 pos, sim::Time t, FaultType fault,
+                              const FaultParams& params, sim::Rng& rng) const;
+
+ private:
+  SignalModel model_;
+  std::vector<TargetEvent> events_;
+};
+
+}  // namespace icc::sensor

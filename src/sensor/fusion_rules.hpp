@@ -1,0 +1,153 @@
+// The sensor study's statistical-voting fusion (§5.2): from the circle's
+// readings, estimate the target position by trilaterating every triple of
+// (sensor position, energy-implied distance) pairs and filtering the
+// estimates with the fault-tolerant cluster algorithm (§4.3); then estimate
+// the source power by back-projecting each reading to the fused position
+// and FT-clustering the per-sensor power estimates.
+//
+// The function is deterministic in its inputs — inner-circle participants
+// recompute it byte-for-byte to validate the center's proposal (Fig 3b).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "fusion/ft_cluster.hpp"
+#include "fusion/ft_mean.hpp"
+#include "fusion/trilateration.hpp"
+#include "sensor/field.hpp"
+#include "sensor/readings.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sensor {
+
+/// Which robust estimator filters the trilateration estimates — FT-cluster
+/// is the paper's contribution; FT-mean [18,19] and the plain mean are the
+/// baselines the ablation bench compares it against.
+enum class FusionAlgo : std::uint8_t { kFtCluster = 0, kFtMean, kPlainMean };
+
+struct FusionParams {
+  FusionAlgo algo{FusionAlgo::kFtCluster};
+  double eta_pos{5.0};        ///< FT-cluster threshold on positions [m] (paper: 5)
+  double eta_power_frac{0.5}; ///< FT-cluster threshold on power, fraction of K*T
+  /// Per-reading plausibility band (application-aware check): every
+  /// surviving reading's back-projected source power K_i must fall within
+  /// [lo, hi] * K*T for the fused estimate to be physically consistent.
+  double power_band_lo{0.5};
+  double power_band_hi{2.0};
+  std::size_t min_consistent{3};  ///< surviving readings needed for validity
+};
+
+/// Fuse the circle's readings into a notification. `readings` must be sorted
+/// by sender id (the voting service guarantees it).
+inline FusedNotification fuse_readings(
+    const SignalModel& model,
+    const std::vector<std::pair<sim::NodeId, Reading>>& readings,
+    const FusionParams& params = {}) {
+  FusedNotification out;
+  if (readings.empty()) return out;
+
+  // Detection time: FT-cluster over the individual detection times.
+  std::vector<double> times;
+  std::vector<double> net_signals;
+  std::vector<fusion::RangeObservation> ranges;
+  for (const auto& [id, r] : readings) {
+    if (r.energy <= model.lambda) continue;  // non-detections carry no range info
+    times.push_back(r.t);
+    // Net signal after stripping the expected noise floor E[N^2] = sigma^2.
+    const double s = std::max(r.energy - model.sigma_n * model.sigma_n, 1e-3);
+    net_signals.push_back(s);
+    ranges.push_back(fusion::RangeObservation{r.pos, model.distance_from_signal(s)});
+  }
+  out.detectors = static_cast<std::uint32_t>(ranges.size());
+  if (ranges.size() < 3) return out;
+
+  out.t = fusion::ft_cluster(times, /*eta=*/5.0).estimate;
+
+  if (params.algo != FusionAlgo::kFtCluster) {
+    // Baseline estimators (ablation): fuse the trilateration estimates with
+    // FT-mean or the plain mean; no reading-level refinement is possible.
+    const std::vector<sim::Vec2> estimates = fusion::trilaterate_all_triples(ranges);
+    if (estimates.empty()) return out;
+    if (params.algo == FusionAlgo::kFtMean && estimates.size() > 2) {
+      const std::size_t f = std::min(estimates.size() / 3, (estimates.size() - 1) / 2);
+      out.target_pos = fusion::ft_mean(estimates, f);
+    } else {
+      out.target_pos = fusion::centroid(std::span{estimates});
+    }
+    std::vector<double> powers;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      const double d = std::max(sim::distance(ranges[i].anchor, out.target_pos), model.d0);
+      powers.push_back(net_signals[i] * std::pow(d / model.d0, model.decay_k));
+    }
+    out.est_power = fusion::centroid(std::span{powers});
+    out.valid = out.est_power >= params.power_band_lo * model.kt &&
+                out.est_power <= params.power_band_hi * model.kt;
+    return out;
+  }
+
+  // Two refinement passes: (1) trilaterate all triples and FT-cluster the
+  // "3L estimates p_i"; (2) back-project each reading to the fused position
+  // to get per-sensor source-power estimates K_i = S_i * (d_i/d0)^k,
+  // FT-cluster them, drop the readings whose power is inconsistent with the
+  // rest (corrupted energies shift *every* triple they touch in the same
+  // direction, so they must be removed at the reading level, not the
+  // estimate level), and redo the trilateration with the survivors.
+  std::vector<fusion::RangeObservation> current = ranges;
+  std::vector<double> current_signals = net_signals;
+  std::size_t dropped = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    if (current.size() < 3) break;
+    const std::vector<sim::Vec2> estimates = fusion::trilaterate_all_triples(current);
+    if (estimates.empty()) break;
+    out.target_pos = fusion::ft_cluster(estimates, params.eta_pos).estimate;
+
+    std::vector<double> powers;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const double d = std::max(sim::distance(current[i].anchor, out.target_pos), model.d0);
+      powers.push_back(current_signals[i] * std::pow(d / model.d0, model.decay_k));
+    }
+    const auto power_cluster = fusion::ft_cluster(powers, params.eta_power_frac * model.kt);
+    out.est_power = power_cluster.estimate;
+    if (power_cluster.excluded.empty()) break;  // already consistent
+
+    // Remove the inconsistent readings (descending index order keeps the
+    // remaining indices valid).
+    std::vector<std::size_t> excluded = power_cluster.excluded;
+    std::sort(excluded.begin(), excluded.end(), std::greater<>{});
+    for (const std::size_t idx : excluded) {
+      current.erase(current.begin() + static_cast<std::ptrdiff_t>(idx));
+      current_signals.erase(current_signals.begin() + static_cast<std::ptrdiff_t>(idx));
+      ++dropped;
+    }
+  }
+  if (out.est_power == 0.0) return out;
+
+  // Fault-tolerance budget (§4.2/§4.3): a consistent fusion may discard at
+  // most F < N/3 readings. Spurious detection sets only become "consistent"
+  // by discarding their way down to the minimum, which this bound rejects.
+  if (dropped > std::max<std::size_t>(1, ranges.size() / 3)) return out;
+
+  // Application-aware plausibility: each surviving reading, back-projected
+  // to the fused position, must describe the *same* physically plausible
+  // source. (Checking the readings individually — not just the clustered
+  // centroid — is what gives the test power for the minimum 3-reading case,
+  // where the exact trilateration solve would otherwise make the centroid
+  // tautologically consistent.)
+  if (current.size() < params.min_consistent) return out;
+  bool all_consistent = true;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    const double d = std::max(sim::distance(current[i].anchor, out.target_pos), model.d0);
+    const double k_i = current_signals[i] * std::pow(d / model.d0, model.decay_k);
+    if (k_i < params.power_band_lo * model.kt || k_i > params.power_band_hi * model.kt) {
+      all_consistent = false;
+      break;
+    }
+  }
+  out.valid = all_consistent;
+  return out;
+}
+
+}  // namespace icc::sensor

@@ -1,0 +1,84 @@
+// Wire formats for sensor target notifications: the raw per-sensor reading
+// <t_i, E_i, u_i> (§5.2) and the fused notification produced by inner-circle
+// statistical voting.
+#pragma once
+
+#include <optional>
+
+#include "core/wire.hpp"
+#include "sim/types.hpp"
+#include "sim/vec2.hpp"
+
+namespace icc::sensor {
+
+/// A single sensor's target notification <t_i, E_i, u_i>.
+struct Reading {
+  sim::Time t{0.0};     ///< detection time
+  double energy{0.0};   ///< sensed energy E_i
+  sim::Vec2 pos;        ///< the sensor's position estimate u_i (= s_i)
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const {
+    core::WireWriter w;
+    w.f64(t);
+    w.f64(energy);
+    w.f64(pos.x);
+    w.f64(pos.y);
+    return std::move(w).take();
+  }
+
+  [[nodiscard]] static std::optional<Reading> deserialize(
+      std::span<const std::uint8_t> bytes) {
+    core::WireReader r{bytes};
+    const auto t = r.f64();
+    const auto e = r.f64();
+    const auto x = r.f64();
+    const auto y = r.f64();
+    if (!t || !e || !x || !y || !r.done()) return std::nullopt;
+    return Reading{*t, *e, {*x, *y}};
+  }
+
+  static constexpr std::uint32_t kWireSize = 32;
+};
+
+/// The inner-circle fused notification: detection time, estimated target
+/// position (trilateration + FT-cluster), estimated source power, and the
+/// number of corroborating detectors.
+struct FusedNotification {
+  sim::Time t{0.0};
+  sim::Vec2 target_pos;
+  double est_power{0.0};
+  std::uint32_t detectors{0};
+  bool valid{false};  ///< the fusion produced a consistent estimate
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const {
+    core::WireWriter w;
+    w.f64(t);
+    w.f64(target_pos.x);
+    w.f64(target_pos.y);
+    w.f64(est_power);
+    w.u32(detectors);
+    w.u8(valid ? 1 : 0);
+    return std::move(w).take();
+  }
+
+  [[nodiscard]] static std::optional<FusedNotification> deserialize(
+      std::span<const std::uint8_t> bytes) {
+    core::WireReader r{bytes};
+    const auto t = r.f64();
+    const auto x = r.f64();
+    const auto y = r.f64();
+    const auto p = r.f64();
+    const auto n = r.u32();
+    const auto v = r.u8();
+    if (!t || !x || !y || !p || !n || !v || !r.done()) return std::nullopt;
+    FusedNotification out;
+    out.t = *t;
+    out.target_pos = {*x, *y};
+    out.est_power = *p;
+    out.detectors = *n;
+    out.valid = *v != 0;
+    return out;
+  }
+};
+
+}  // namespace icc::sensor

@@ -1,0 +1,20 @@
+// Link-layer frames exchanged over the shared radio medium.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+/// What the MAC puts on the air: a network packet plus link addressing.
+struct Frame {
+  NodeId tx{kNoNode};      ///< transmitting interface
+  NodeId rx{kBroadcast};   ///< link-level destination (kBroadcast allowed)
+  bool is_ack{false};      ///< MAC-level acknowledgement frame
+  std::uint64_t frame_id{0};  ///< matches acks to the data frame they confirm
+  Packet packet;           ///< empty for acks
+};
+
+}  // namespace icc::sim

@@ -1,0 +1,195 @@
+#include "sim/mac.hpp"
+
+#include <algorithm>
+
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+
+namespace icc::sim {
+
+namespace {
+constexpr std::uint64_t kMacRngSalt = 0x6D616300ull;  // "mac"
+}
+
+Mac::Mac(World& world, Node& node, MacParams params)
+    : world_{world},
+      node_{node},
+      params_{params},
+      rng_{world.fork_rng(kMacRngSalt + node.id())},
+      cw_{params.cw_min} {}
+
+void Mac::enqueue(Packet packet, NodeId next_hop) {
+  Frame frame;
+  frame.tx = node_.id();
+  frame.rx = next_hop;
+  frame.frame_id = next_frame_id_++;
+  frame.packet = std::move(packet);
+  queue_.push_back(std::move(frame));
+  kick();
+}
+
+void Mac::kick() {
+  if (in_progress_ || queue_.empty()) return;
+  in_progress_ = true;
+  retries_ = 0;
+  cw_ = params_.cw_min;
+  schedule_attempt();
+}
+
+void Mac::schedule_attempt() {
+  const double backoff =
+      params_.difs + params_.slot * static_cast<double>(rng_.uniform_int(
+                                        0, static_cast<std::uint32_t>(cw_)));
+  attempt_event_ =
+      world_.sched().schedule_in(backoff, [this] { try_transmit(); });
+}
+
+void Mac::try_transmit() {
+  attempt_event_ = Scheduler::kNoEvent;
+  const Time now = world_.sched().now();
+  const bool receiving = std::any_of(
+      receptions_.begin(), receptions_.end(),
+      [now](const Reception& r) { return r.end > now; });
+  if (transmitting(now) || receiving || world_.medium().busy_at(node_.id())) {
+    cw_ = std::min(2 * cw_ + 1, params_.cw_max);
+    schedule_attempt();
+    return;
+  }
+  transmit_current();
+}
+
+void Mac::transmit_current() {
+  const Time now = world_.sched().now();
+  Frame& frame = queue_.front();
+  const double duration = frame_airtime(frame.packet.size_bytes);
+
+  // Half-duplex: transmitting destroys anything we were decoding.
+  for (Reception& r : receptions_) {
+    if (r.end > now && !r.corrupted) {
+      r.corrupted = true;
+      world_.medium().count_collision();
+    }
+  }
+
+  tx_until_ = now + duration;
+  node_.energy().charge_tx(duration);
+  world_.medium().begin_transmission(frame, duration);
+
+  const bool needs_ack = frame.rx != kBroadcast;
+  const std::uint64_t fid = frame.frame_id;
+  world_.sched().schedule_in(duration, [this, needs_ack, fid] {
+    if (!needs_ack) {
+      finish_current(true);
+      return;
+    }
+    awaiting_ack_id_ = fid;
+    const double ack_air =
+        params_.preamble + static_cast<double>(params_.ack_bytes) * 8.0 / params_.bitrate;
+    const double timeout = params_.sifs + ack_air + 5.0 * params_.slot;
+    ack_timeout_event_ =
+        world_.sched().schedule_in(timeout, [this] { on_ack_timeout(); });
+  });
+}
+
+void Mac::on_ack_timeout() {
+  ack_timeout_event_ = Scheduler::kNoEvent;
+  awaiting_ack_id_ = 0;
+  ++retries_;
+  if (retries_ > params_.retry_limit) {
+    ++unicast_failures_;
+    const Frame frame = queue_.front();
+    finish_current(false);
+    if (on_send_failed_) on_send_failed_(frame.packet, frame.rx);
+    return;
+  }
+  cw_ = std::min(2 * cw_ + 1, params_.cw_max);
+  schedule_attempt();
+}
+
+void Mac::finish_current(bool /*success*/) {
+  queue_.pop_front();
+  in_progress_ = false;
+  kick();
+}
+
+void Mac::begin_reception(const Frame& frame, double duration) {
+  if (node_.down()) return;
+  const Time now = world_.sched().now();
+  if (transmitting(now)) return;  // half-duplex: deaf while transmitting
+
+  node_.energy().charge_rx(duration);
+
+  bool collided = false;
+  for (Reception& r : receptions_) {
+    if (r.end > now) {
+      if (!r.corrupted) {
+        r.corrupted = true;
+        world_.medium().count_collision();
+      }
+      collided = true;
+    }
+  }
+  if (collided) world_.medium().count_collision();
+
+  receptions_.push_back(Reception{frame, now + duration, collided});
+  const NodeId tx = frame.tx;
+  const std::uint64_t fid = frame.frame_id;
+  world_.sched().schedule_in(duration, [this, tx, fid] {
+    auto it = std::find_if(receptions_.begin(), receptions_.end(),
+                           [&](const Reception& r) {
+                             return r.frame.tx == tx && r.frame.frame_id == fid;
+                           });
+    if (it == receptions_.end()) return;
+    Reception rx = std::move(*it);
+    receptions_.erase(it);
+    // A transmission we started mid-reception marked it corrupted already.
+    if (!rx.corrupted) handle_frame_arrival(rx);
+  });
+}
+
+void Mac::handle_frame_arrival(Reception& rx) {
+  const Frame& frame = rx.frame;
+  if (frame.is_ack) {
+    if (frame.rx == node_.id() && in_progress_ && awaiting_ack_id_ == frame.frame_id) {
+      world_.sched().cancel(ack_timeout_event_);
+      ack_timeout_event_ = Scheduler::kNoEvent;
+      awaiting_ack_id_ = 0;
+      finish_current(true);
+    }
+    return;
+  }
+  if (frame.rx != node_.id() && frame.rx != kBroadcast) {
+    node_.frame_overheard(frame);
+    return;
+  }
+  if (frame.rx == node_.id()) send_ack(frame);
+  node_.frame_received(frame);
+}
+
+void Mac::send_ack(const Frame& data_frame) {
+  const NodeId dst = data_frame.tx;
+  const std::uint64_t fid = data_frame.frame_id;
+  world_.sched().schedule_in(params_.sifs, [this, dst, fid] {
+    const Time now = world_.sched().now();
+    if (transmitting(now) || node_.down()) return;
+    Frame ack;
+    ack.tx = node_.id();
+    ack.rx = dst;
+    ack.is_ack = true;
+    ack.frame_id = fid;
+    const double duration =
+        params_.preamble + static_cast<double>(params_.ack_bytes) * 8.0 / params_.bitrate;
+    // SIFS priority: an ack pre-empts anything we were decoding.
+    for (Reception& r : receptions_) {
+      if (r.end > now && !r.corrupted) {
+        r.corrupted = true;
+        world_.medium().count_collision();
+      }
+    }
+    tx_until_ = now + duration;
+    node_.energy().charge_tx(duration);
+    world_.medium().begin_transmission(ack, duration);
+  });
+}
+
+}  // namespace icc::sim

@@ -1,0 +1,38 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace icc::sim {
+
+void Medium::prune(Time now) const {
+  std::erase_if(on_air_, [now](const OnAir& t) { return t.end <= now; });
+}
+
+void Medium::begin_transmission(const Frame& frame, double duration) {
+  const Time now = world_.sched().now();
+  prune(now);
+  ++frames_sent_;
+  const Vec2 tx_pos = world_.node(frame.tx).position();
+  on_air_.push_back(OnAir{tx_pos, now + duration});
+  for (NodeId i = 0; i < world_.num_nodes(); ++i) {
+    if (i == frame.tx) continue;
+    Node& receiver = world_.node(i);
+    if (receiver.down()) continue;
+    if (distance(tx_pos, receiver.position()) <= tx_range_) {
+      receiver.mac().begin_reception(frame, duration);
+    }
+  }
+}
+
+bool Medium::busy_at(NodeId listener) const {
+  const Time now = world_.sched().now();
+  prune(now);
+  const Vec2 lp = world_.node(listener).position();
+  return std::any_of(on_air_.begin(), on_air_.end(), [&](const OnAir& t) {
+    return t.end > now && distance(t.tx_pos, lp) <= cs_range_;
+  });
+}
+
+}  // namespace icc::sim

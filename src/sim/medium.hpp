@@ -1,0 +1,58 @@
+// The shared broadcast radio channel.
+//
+// Propagation follows the two-state disk model the paper's ns-2 setup uses:
+// every node within `tx_range` of the transmitter receives the frame;
+// receptions that overlap in time at a receiver destroy each other
+// (collision); carrier sensing extends to `cs_range` so the CSMA MAC defers
+// to transmissions it can hear but not decode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/frame.hpp"
+#include "sim/types.hpp"
+#include "sim/vec2.hpp"
+
+namespace icc::sim {
+
+class World;
+
+class Medium {
+ public:
+  Medium(World& world, double tx_range, double cs_range)
+      : world_{world}, tx_range_{tx_range}, cs_range_{cs_range} {}
+
+  /// Put `frame` on the air for `duration` seconds starting now. Delivers
+  /// (or collides) the frame at every node currently inside `tx_range`.
+  void begin_transmission(const Frame& frame, double duration);
+
+  /// Carrier sense at `listener`: is any transmission within cs_range of it
+  /// still in progress?
+  [[nodiscard]] bool busy_at(NodeId listener) const;
+
+  [[nodiscard]] double tx_range() const noexcept { return tx_range_; }
+
+  /// Total frames put on the air (all nodes).
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  /// Frames destroyed by collisions (counted per victim reception).
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+  void count_collision() noexcept { ++collisions_; }
+
+ private:
+  struct OnAir {
+    Vec2 tx_pos;
+    Time end;
+  };
+
+  void prune(Time now) const;
+
+  World& world_;
+  double tx_range_;
+  double cs_range_;
+  mutable std::vector<OnAir> on_air_;
+  std::uint64_t frames_sent_{0};
+  std::uint64_t collisions_{0};
+};
+
+}  // namespace icc::sim

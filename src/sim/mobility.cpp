@@ -1,0 +1,31 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+
+#include "sim/scheduler.hpp"
+
+namespace icc::sim {
+
+RandomWaypoint::RandomWaypoint(Params params, Vec2 start, Rng rng)
+    : params_{params}, rng_{rng}, from_{start}, to_{start} {}
+
+Vec2 RandomWaypoint::position(Time now) const {
+  if (now >= arrive_ || arrive_ <= depart_) return to_;
+  const double frac = (now - depart_) / (arrive_ - depart_);
+  return from_ + (to_ - from_) * frac;
+}
+
+void RandomWaypoint::start(Scheduler& sched) { begin_leg(sched); }
+
+void RandomWaypoint::begin_leg(Scheduler& sched) {
+  from_ = to_;
+  to_ = rng_.point_in(params_.width, params_.height);
+  const double speed =
+      std::max(0.1, rng_.uniform(params_.min_speed, params_.max_speed));
+  const double dist = distance(from_, to_);
+  depart_ = sched.now();
+  arrive_ = depart_ + dist / speed;
+  sched.schedule_at(arrive_ + params_.pause, [this, &sched] { begin_leg(sched); });
+}
+
+}  // namespace icc::sim

@@ -1,0 +1,65 @@
+#include "sim/node.hpp"
+
+#include "sim/world.hpp"
+
+namespace icc::sim {
+
+Node::Node(World& world, NodeId id, std::unique_ptr<Mobility> mobility,
+           MacParams mac_params)
+    : world_{world},
+      id_{id},
+      mobility_{std::move(mobility)},
+      mac_{std::make_unique<Mac>(world, *this, mac_params)} {}
+
+Vec2 Node::position() const { return mobility_->position(world_.now()); }
+
+void Node::link_send(Packet packet, NodeId next_hop) {
+  if (down_) return;
+  for (const OutboundFilter& filter : outbound_filters_) {
+    switch (filter(packet, next_hop)) {
+      case FilterVerdict::kPass:
+        break;
+      case FilterVerdict::kDrop:
+        world_.stats().add("node.outbound_dropped");
+        return;
+      case FilterVerdict::kConsumed:
+        return;
+    }
+  }
+  link_send_unfiltered(std::move(packet), next_hop);
+}
+
+void Node::link_send_unfiltered(Packet packet, NodeId next_hop) {
+  if (down_) return;
+  if (packet.uid == 0) packet.uid = world_.next_packet_uid();
+  mac_->enqueue(std::move(packet), next_hop);
+}
+
+void Node::register_handler(Port port, Handler handler) {
+  handlers_.at(static_cast<std::size_t>(port)) = std::move(handler);
+}
+
+void Node::frame_overheard(const Frame& frame) {
+  if (down_) return;
+  for (const PromiscuousListener& listener : promiscuous_) listener(frame);
+}
+
+void Node::frame_received(const Frame& frame) {
+  if (down_) return;
+  const Packet& packet = frame.packet;
+  for (const InboundFilter& filter : inbound_filters_) {
+    switch (filter(packet, frame.tx)) {
+      case FilterVerdict::kPass:
+        break;
+      case FilterVerdict::kDrop:
+        world_.stats().add("node.inbound_dropped");
+        return;
+      case FilterVerdict::kConsumed:
+        return;
+    }
+  }
+  const Handler& handler = handlers_.at(static_cast<std::size_t>(packet.port));
+  if (handler) handler(packet, frame.tx);
+}
+
+}  // namespace icc::sim

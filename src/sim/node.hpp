@@ -1,0 +1,96 @@
+// A simulated wireless node: position (mobility), radio energy meter, MAC,
+// and a demultiplexed stack of protocol handlers.
+//
+// The node also hosts the filter chains the Inner-circle Interceptor (paper
+// §4, Fig 1) hooks into: outbound filters run between the network layer and
+// the MAC, inbound filters run between the MAC and the protocol handlers.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/energy.hpp"
+#include "sim/mac.hpp"
+#include "sim/mobility.hpp"
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+class World;
+
+/// Result of running a packet through an interceptor filter.
+enum class FilterVerdict {
+  kPass,      ///< continue down/up the stack
+  kDrop,      ///< silently discard (e.g., suspected sender, bad signature)
+  kConsumed,  ///< the filter took over delivery (e.g., redirected to voting)
+};
+
+class Node {
+ public:
+  /// Handler for packets delivered to a port: (packet, link-level sender).
+  using Handler = std::function<void(const Packet&, NodeId from)>;
+  /// Promiscuous listener: sees every frame this radio decodes, including
+  /// traffic addressed to other nodes (watchdog-style overhearing).
+  using PromiscuousListener = std::function<void(const Frame& frame)>;
+  using InboundFilter = std::function<FilterVerdict(const Packet&, NodeId from)>;
+  /// Outbound filters may inspect the packet and the chosen next hop.
+  using OutboundFilter = std::function<FilterVerdict(const Packet&, NodeId next_hop)>;
+
+  Node(World& world, NodeId id, std::unique_ptr<Mobility> mobility, MacParams mac_params);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Vec2 position() const;
+  [[nodiscard]] World& world() noexcept { return world_; }
+
+  Mac& mac() noexcept { return *mac_; }
+  EnergyMeter& energy() noexcept { return energy_; }
+  [[nodiscard]] const EnergyMeter& energy() const noexcept { return energy_; }
+  Mobility& mobility() noexcept { return *mobility_; }
+
+  /// Send `packet` to link neighbor `next_hop` (kBroadcast for a one-hop
+  /// broadcast). Runs the outbound filter chain first.
+  void link_send(Packet packet, NodeId next_hop);
+
+  /// Bypass the outbound filters — used by the inner-circle services
+  /// themselves (their own traffic must not be re-intercepted).
+  void link_send_unfiltered(Packet packet, NodeId next_hop);
+
+  void register_handler(Port port, Handler handler);
+  void add_promiscuous_listener(PromiscuousListener l) {
+    promiscuous_.push_back(std::move(l));
+  }
+  void add_inbound_filter(InboundFilter f) { inbound_filters_.push_back(std::move(f)); }
+  void add_outbound_filter(OutboundFilter f) { outbound_filters_.push_back(std::move(f)); }
+
+  void set_send_failed_handler(Mac::SendFailedHandler h) {
+    mac_->set_send_failed_handler(std::move(h));
+  }
+
+  /// Crash-failure switch: a down node neither sends nor receives.
+  void set_down(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
+  /// MAC -> node: a decoded frame addressed to us (or broadcast).
+  void frame_received(const Frame& frame);
+  /// MAC -> node: a decoded frame addressed to someone else (promiscuous).
+  void frame_overheard(const Frame& frame);
+  [[nodiscard]] bool promiscuous() const noexcept { return !promiscuous_.empty(); }
+
+ private:
+  World& world_;
+  NodeId id_;
+  std::unique_ptr<Mobility> mobility_;
+  EnergyMeter energy_;
+  std::unique_ptr<Mac> mac_;
+  bool down_{false};
+
+  std::array<Handler, kNumPorts> handlers_{};
+  std::vector<PromiscuousListener> promiscuous_;
+  std::vector<InboundFilter> inbound_filters_;
+  std::vector<OutboundFilter> outbound_filters_;
+};
+
+}  // namespace icc::sim

@@ -1,0 +1,41 @@
+// Network packets.
+//
+// A Packet is the unit handed between protocol layers. Its payload is an
+// immutable, shared, typed object (one concrete Payload subclass per
+// protocol message), so forwarding a packet along a multi-hop path never
+// copies the body, mirroring how ns-2 shares packet data between layers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+/// Base class for typed packet bodies. Concrete protocol messages (RREQ,
+/// RREP, STS beacon, IVS propose, sensor notification, ...) derive from it.
+struct Payload {
+  virtual ~Payload() = default;
+  /// Human-readable tag used in traces and test assertions.
+  [[nodiscard]] virtual std::string tag() const = 0;
+};
+
+/// A network-level packet: end-to-end addressing plus a typed body.
+struct Packet {
+  NodeId src{kNoNode};   ///< network-level originator
+  NodeId dst{kNoNode};   ///< network-level destination (kBroadcast allowed)
+  Port port{Port::kCbr}; ///< receiving handler demux key
+  std::uint32_t size_bytes{0};  ///< simulated on-air size (headers included)
+  std::uint64_t uid{0};         ///< unique packet id, assigned by World
+  std::shared_ptr<const Payload> body;
+
+  /// Typed view of the body; returns nullptr when the body is another type.
+  template <typename T>
+  [[nodiscard]] const T* body_as() const {
+    return dynamic_cast<const T*>(body.get());
+  }
+};
+
+}  // namespace icc::sim

@@ -1,0 +1,62 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component (mobility, MAC backoff, traffic, sensor noise,
+// fault injection) draws from its own stream derived from the world seed, so
+// a run is reproducible bit-for-bit and adding randomness to one component
+// does not perturb the others.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sim/vec2.hpp"
+
+namespace icc::sim {
+
+/// A seeded pseudo-random stream with the distribution helpers the
+/// simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint32_t uniform_int(std::uint32_t lo, std::uint32_t hi) {
+    return std::uniform_int_distribution<std::uint32_t>{lo, hi}(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+  }
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return std::bernoulli_distribution{p}(engine_); }
+
+  /// Uniform point inside the rectangle [0,w] x [0,h].
+  Vec2 point_in(double w, double h) { return {uniform(0.0, w), uniform(0.0, h)}; }
+
+  /// Derive an independent child stream. Mixing constant from SplitMix64.
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t z = engine_() + 0x9E3779B97F4A7C15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng{z ^ (z >> 31)};
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace icc::sim

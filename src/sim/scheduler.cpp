@@ -1,0 +1,46 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace icc::sim {
+
+Scheduler::EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // clamp: "immediately" from a handler's viewpoint
+  const EventId id = next_seq_++;
+  queue_.push(QueueEntry{t, id, id});
+  pending_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Scheduler::run_until(Time end) {
+  while (!queue_.empty()) {
+    const QueueEntry top = queue_.top();
+    if (top.time > end) break;
+    queue_.pop();
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    pending_.erase(it);
+    now_ = top.time;
+    ++executed_;
+    fn();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Scheduler::run_all() {
+  while (!queue_.empty()) {
+    const QueueEntry top = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) continue;
+    std::function<void()> fn = std::move(it->second);
+    pending_.erase(it);
+    now_ = top.time;
+    ++executed_;
+    fn();
+  }
+}
+
+}  // namespace icc::sim

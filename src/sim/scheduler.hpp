@@ -1,0 +1,70 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Events are closures ordered by (time, insertion sequence); ties resolve in
+// FIFO order so runs are deterministic. Events can be cancelled, which is how
+// protocol timers (AODV route expiry, MAC ack timeouts, voting-round
+// deadlines, ...) are retracted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+class Scheduler {
+ public:
+  using EventId = std::uint64_t;
+  static constexpr EventId kNoEvent = 0;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `dt` seconds from now.
+  EventId schedule_in(Time dt, std::function<void()> fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op, which keeps timer bookkeeping in protocol code simple.
+  void cancel(EventId id) { pending_.erase(id); }
+
+  /// Whether an event is still pending.
+  [[nodiscard]] bool pending(EventId id) const { return pending_.count(id) != 0; }
+
+  /// Run events in order until the queue drains or time would pass `end`.
+  /// The clock is left at `end` (or at the last event if the queue drained).
+  void run_until(Time end);
+
+  /// Run every remaining event. Intended for unit tests.
+  void run_all();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct QueueEntry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  Time now_{0.0};
+  std::uint64_t next_seq_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> pending_;
+};
+
+}  // namespace icc::sim

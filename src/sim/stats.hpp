@@ -1,0 +1,50 @@
+// Run-level metric collection: a flat registry of named accumulators, plus a
+// small helper for averaging sample streams (latencies, errors).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icc::sim {
+
+/// Mean/min/max over a stream of samples.
+struct SampleSeries {
+  void add(double v) {
+    sum += v;
+    if (count == 0 || v < min) min = v;
+    if (count == 0 || v > max) max = v;
+    ++count;
+  }
+  [[nodiscard]] double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+
+  double sum{0.0};
+  double min{0.0};
+  double max{0.0};
+  std::uint64_t count{0};
+};
+
+class Stats {
+ public:
+  void add(const std::string& key, double v = 1.0) { counters_[key] += v; }
+  [[nodiscard]] double get(const std::string& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+
+  void sample(const std::string& key, double v) { series_[key].add(v); }
+  [[nodiscard]] const SampleSeries& samples(const std::string& key) const {
+    static const SampleSeries kEmpty{};
+    auto it = series_.find(key);
+    return it == series_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, SampleSeries> series_;
+};
+
+}  // namespace icc::sim

@@ -1,0 +1,36 @@
+// Basic identifiers and time representation shared by every simulator module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace icc::sim {
+
+/// Simulated time, in seconds since the start of the run.
+using Time = double;
+
+/// Identifier of a simulated wireless node. Correct nodes keep a unique id
+/// for their whole life (paper §2).
+using NodeId = std::uint32_t;
+
+/// Link-layer broadcast address.
+inline constexpr NodeId kBroadcast = std::numeric_limits<NodeId>::max();
+
+/// Invalid / "no node" sentinel.
+inline constexpr NodeId kNoNode = kBroadcast - 1;
+
+/// Demultiplexing key for protocol handlers on a node (similar in spirit to
+/// a UDP port or an ns-2 agent slot).
+enum class Port : std::uint8_t {
+  kAodv = 0,       ///< AODV routing control traffic
+  kCbr,            ///< CBR/UDP application data
+  kSts,            ///< Secure Topology Service beacons
+  kIvs,            ///< Inner-circle Voting Service rounds
+  kDiffusion,      ///< directed-diffusion interests / notifications
+  kSensorApp,      ///< sensor application payloads
+  kCount
+};
+
+inline constexpr std::size_t kNumPorts = static_cast<std::size_t>(Port::kCount);
+
+}  // namespace icc::sim

@@ -1,0 +1,40 @@
+// 2-D geometry helpers used by mobility, radio propagation, and the sensor
+// localization code.
+#pragma once
+
+#include <cmath>
+
+namespace icc::sim {
+
+/// A point or displacement in the 2-D deployment plane, in meters.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x{x_}, y{y_} {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator/=(double s) {
+    x /= s;
+    y /= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+};
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace icc::sim

@@ -1,0 +1,36 @@
+#include "sim/world.hpp"
+
+namespace icc::sim {
+
+World::World(WorldConfig config)
+    : config_{config},
+      medium_{*this, config.tx_range, config.tx_range * config.cs_range_factor},
+      rng_{config.seed} {}
+
+Node& World::add_node(std::unique_ptr<Mobility> mobility) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(*this, id, std::move(mobility), config_.mac));
+  nodes_.back()->mobility().start(sched_);
+  return *nodes_.back();
+}
+
+std::vector<NodeId> World::true_neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  const Vec2 p = node(id).position();
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (i == id || node(i).down()) continue;
+    if (distance(p, node(i).position()) <= config_.tx_range) out.push_back(i);
+  }
+  return out;
+}
+
+double World::mean_energy_joules() const {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& n : nodes_) {
+    sum += n->energy().total_joules(config_.energy, now());
+  }
+  return sum / static_cast<double>(nodes_.size());
+}
+
+}  // namespace icc::sim

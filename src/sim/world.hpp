@@ -1,0 +1,80 @@
+// The simulation world: scheduler + medium + nodes + deterministic RNG
+// streams + run-level statistics. Equivalent in role to an ns-2 Simulator
+// instance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/energy.hpp"
+#include "sim/mac.hpp"
+#include "sim/medium.hpp"
+#include "sim/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+struct WorldConfig {
+  double width{1000.0};
+  double height{1000.0};
+  double tx_range{250.0};
+  /// Carrier-sense range as a multiple of tx_range (ns-2 default ≈ 2.2).
+  double cs_range_factor{2.2};
+  MacParams mac{};
+  EnergyParams energy{};
+  std::uint64_t seed{1};
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  // Non-copyable, non-movable: nodes hold references into the world.
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Create a node with the given mobility model; ids are dense from 0.
+  Node& add_node(std::unique_ptr<Mobility> mobility);
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_.at(id); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  Scheduler& sched() noexcept { return sched_; }
+  Medium& medium() noexcept { return medium_; }
+  Stats& stats() noexcept { return stats_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] Time now() const noexcept { return sched_.now(); }
+  void run_until(Time end) { sched_.run_until(end); }
+
+  /// Independent RNG stream; `salt` should identify the consumer.
+  Rng fork_rng(std::uint64_t salt) { return rng_.fork(salt); }
+  Rng& rng() noexcept { return rng_; }
+
+  std::uint64_t next_packet_uid() noexcept { return next_uid_++; }
+
+  /// Ground-truth one-hop neighbors (within tx_range) of `id` right now.
+  /// Used by tests and by the dealer for oracle checks — never by protocol
+  /// code, which must rely on the Secure Topology Service.
+  [[nodiscard]] std::vector<NodeId> true_neighbors(NodeId id) const;
+
+  /// Average per-node energy, in joules, consumed so far.
+  [[nodiscard]] double mean_energy_joules() const;
+
+ private:
+  WorldConfig config_;
+  Scheduler sched_;
+  Medium medium_;
+  Rng rng_;
+  Stats stats_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint64_t next_uid_{1};
+};
+
+}  // namespace icc::sim

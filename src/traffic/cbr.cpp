@@ -1,0 +1,35 @@
+#include "traffic/cbr.hpp"
+
+#include "sim/world.hpp"
+
+namespace icc::traffic {
+
+CbrConnection::CbrConnection(aodv::Aodv& source, sim::NodeId dest, Params params)
+    : source_{source}, dest_{dest}, params_{params} {
+  source_.node().world().sched().schedule_at(params_.start, [this] { send_next(); });
+}
+
+void CbrConnection::send_next() {
+  sim::World& world = source_.node().world();
+  if (world.now() >= params_.stop) return;
+
+  aodv::DataMsg data;
+  data.app_uid = world.next_packet_uid();
+  data.app_bytes = params_.packet_bytes;
+  data.sent_at = world.now();
+  ++sent_;
+  world.stats().add("cbr.sent");
+  source_.send_data(dest_, data);
+
+  world.sched().schedule_in(1.0 / params_.rate_pps, [this] { send_next(); });
+}
+
+void CbrConnection::attach_sink(aodv::Aodv& aodv) {
+  sim::World& world = aodv.node().world();
+  aodv.set_deliver_handler([&world](const aodv::DataMsg& data, sim::NodeId) {
+    world.stats().add("cbr.received");
+    world.stats().sample("cbr.latency", world.now() - data.sent_at);
+  });
+}
+
+}  // namespace icc::traffic

@@ -1,0 +1,126 @@
+// Tests for the watchdog/pathrater detection baseline [28] and its
+// comparison against inner-circle masking.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aodv/blackhole.hpp"
+#include "aodv/blackhole_experiment.hpp"
+#include "aodv/watchdog.hpp"
+#include "sim/world.hpp"
+
+namespace icc::aodv {
+namespace {
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  // Chain 0-1-2-3 where node 1 can be replaced by an attacker at the same
+  // position to attract and drop traffic.
+  void build(bool middle_is_blackhole) {
+    sim::WorldConfig config;
+    config.width = 5000;
+    config.height = 1000;
+    config.tx_range = 250;
+    config.seed = 131;
+    world_ = std::make_unique<sim::World>(config);
+    const sim::Vec2 positions[] = {{0, 0}, {200, 0}, {400, 0}, {600, 0}};
+    for (int i = 0; i < 4; ++i) {
+      sim::Node& node = world_->add_node(
+          std::make_unique<sim::StaticMobility>(positions[i]));
+      if (i == 1 && middle_is_blackhole) {
+        agents_.push_back(std::make_unique<BlackholeAodv>(node, Aodv::Params{},
+                                                          BlackholeAodv::AttackParams{}));
+      } else {
+        agents_.push_back(std::make_unique<Aodv>(node, Aodv::Params{}));
+      }
+      agents_.back()->set_deliver_handler(
+          [this](const DataMsg&, sim::NodeId) { ++delivered_; });
+    }
+    watchdog_ = std::make_unique<Watchdog>(*agents_[0], Watchdog::Params{});
+  }
+
+  std::unique_ptr<sim::World> world_;
+  std::vector<std::unique_ptr<Aodv>> agents_;
+  std::unique_ptr<Watchdog> watchdog_;
+  int delivered_{0};
+};
+
+TEST_F(WatchdogTest, HonestForwardersNeverBlacklisted) {
+  build(/*middle_is_blackhole=*/false);
+  for (int i = 0; i < 30; ++i) {
+    world_->sched().schedule_in(0.2 * i, [this] { agents_[0]->send_data(3, DataMsg{}); });
+  }
+  world_->run_until(15.0);
+  EXPECT_EQ(delivered_, 30);
+  EXPECT_EQ(watchdog_->blacklist_size(), 0u);
+  EXPECT_EQ(watchdog_->failures_charged(), 0u);
+}
+
+TEST_F(WatchdogTest, DroppingForwarderGetsBlacklisted) {
+  build(/*middle_is_blackhole=*/true);
+  for (int i = 0; i < 30; ++i) {
+    world_->sched().schedule_in(0.2 * i, [this] { agents_[0]->send_data(3, DataMsg{}); });
+  }
+  world_->run_until(20.0);
+  EXPECT_TRUE(watchdog_->blacklisted(1));
+  EXPECT_GE(watchdog_->failures_charged(), 4u);
+  // With node 1 blacklisted the chain has no alternative, so delivery stays
+  // broken — the watchdog detects, it does not mask.
+  EXPECT_LT(delivered_, 30);
+}
+
+TEST_F(WatchdogTest, DetectionHasLatencyMaskingDoesNot) {
+  // Experiment-level §6 comparison under a plain black hole: both defenses
+  // beat no-defense, and masking beats detection.
+  BlackholeExperimentConfig config;
+  config.sim_time = 120.0;
+  config.seed = 132;
+  config.num_malicious = 5;
+
+  const auto undefended = run_blackhole_experiment(config);
+  config.watchdog = true;
+  const auto watched = run_blackhole_experiment(config);
+  config.watchdog = false;
+  config.inner_circle = true;
+  const auto masked = run_blackhole_experiment(config);
+
+  EXPECT_GT(watched.throughput, undefended.throughput + 0.2);
+  EXPECT_GT(watched.watchdog_blacklisted, 0u);
+  EXPECT_GT(masked.throughput, watched.throughput);
+  // The watchdog lets some packets die during every detection race; the
+  // inner circle never lets the malicious route form at all.
+  EXPECT_GT(masked.throughput, 0.9);
+}
+
+TEST_F(WatchdogTest, PathraterFailsOverAfterBlacklisting) {
+  // Diamond topology: 0 -> {1 (black hole), 2} -> 3. After detection, the
+  // pathrater invalidates routes via 1 and discovery settles on 2.
+  sim::WorldConfig config;
+  config.tx_range = 250;
+  config.seed = 133;
+  world_ = std::make_unique<sim::World>(config);
+  const sim::Vec2 positions[] = {{0, 0}, {200, 100}, {200, -100}, {400, 0}};
+  for (int i = 0; i < 4; ++i) {
+    sim::Node& node = world_->add_node(std::make_unique<sim::StaticMobility>(positions[i]));
+    if (i == 1) {
+      agents_.push_back(std::make_unique<BlackholeAodv>(node, Aodv::Params{},
+                                                        BlackholeAodv::AttackParams{}));
+    } else {
+      agents_.push_back(std::make_unique<Aodv>(node, Aodv::Params{}));
+    }
+    agents_.back()->set_deliver_handler(
+        [this](const DataMsg&, sim::NodeId) { ++delivered_; });
+  }
+  watchdog_ = std::make_unique<Watchdog>(*agents_[0], Watchdog::Params{});
+  for (int i = 0; i < 60; ++i) {
+    world_->sched().schedule_in(0.25 * i, [this] { agents_[0]->send_data(3, DataMsg{}); });
+  }
+  world_->run_until(30.0);
+  EXPECT_TRUE(watchdog_->blacklisted(1));
+  // Later packets flow through node 2.
+  EXPECT_GT(delivered_, 20);
+  EXPECT_EQ(agents_[0]->next_hop_to(3), 2u);
+}
+
+}  // namespace
+}  // namespace icc::aodv

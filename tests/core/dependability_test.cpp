@@ -1,0 +1,119 @@
+// Tests for the §4.2 dependability-level calculus, including a simulation-
+// backed check of the Agreement guarantee under a mixed failure budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dependability.hpp"
+#include "core/framework.hpp"
+#include "crypto/model_scheme.hpp"
+#include "crypto/pki.hpp"
+#include "sim/world.hpp"
+
+namespace icc::core {
+namespace {
+
+TEST(Dependability, LevelFormula) {
+  // N = 10, F = 3 => L = 6.
+  EXPECT_EQ(dependability_level(10, FailureBudget{1, 1, 1}), 6);
+  // No failures: L = N - 1.
+  EXPECT_EQ(dependability_level(5, FailureBudget{}), 4);
+}
+
+TEST(Dependability, TooSmallCircleHasNoLevel) {
+  EXPECT_FALSE(dependability_level(3, FailureBudget{2, 0, 0}).has_value());
+  EXPECT_FALSE(dependability_level(2, FailureBudget{1, 0, 0}).has_value());
+  EXPECT_TRUE(dependability_level(4, FailureBudget{2, 0, 0}).has_value());
+}
+
+TEST(Dependability, GuaranteedCorrectParticipants) {
+  // T = L - F_B.
+  EXPECT_EQ(guaranteed_correct(6, FailureBudget{2, 1, 0}), 4);
+  EXPECT_EQ(guaranteed_correct(1, FailureBudget{0, 0, 0}), 1);
+}
+
+TEST(Dependability, ByzantineAgreementSpecialCase) {
+  // L + 1 = 2N/3: N=9 -> L+1=6 -> L=5; tolerance N/3 - 1 = 2.
+  EXPECT_EQ(byzantine_agreement_level(9), 5);
+  const int n = 9;
+  const int level = byzantine_agreement_level(n);
+  // A correct majority stands behind every agreed value: L+1 > N/2.
+  EXPECT_GT(level + 1, n / 2);
+}
+
+TEST(Dependability, RouteValidityCondition) {
+  EXPECT_EQ(max_byzantine_for_route_validity(1), 0);
+  EXPECT_EQ(max_byzantine_for_route_validity(3), 2);
+}
+
+// Simulation-backed property: with L chosen by the formula for a budget of
+// F_B Byzantine (non-acking) + F_C crashed members, rounds still complete,
+// and with one failure beyond the budget they cannot.
+class DependabilitySim : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DependabilitySim, AgreementHoldsExactlyUpToBudget) {
+  const auto [byzantine, crashed] = GetParam();
+  const int n = 9;  // circle size including center
+
+  sim::WorldConfig config;
+  config.tx_range = 250;
+  config.seed = 71;
+  sim::World world{config};
+  crypto::ModelThresholdScheme scheme{9, 8, 512};
+  crypto::ModelPki pki{10, 512};
+  crypto::ModelCipher cipher;
+
+  const FailureBudget budget{byzantine, crashed, 0};
+  const auto level = dependability_level(n, budget);
+  ASSERT_TRUE(level.has_value());
+
+  std::vector<std::unique_ptr<InnerCircleNode>> circles;
+  for (int i = 0; i < n; ++i) {
+    sim::Node& node = world.add_node(std::make_unique<sim::StaticMobility>(
+        sim::Vec2{400.0 + 40.0 * (i % 3), 400.0 + 40.0 * (i / 3)}));
+    InnerCircleConfig icc_config;
+    icc_config.level = *level;
+    circles.push_back(
+        std::make_unique<InnerCircleNode>(node, icc_config, scheme, pki, cipher));
+    // Nodes 1..byzantine refuse to approve anything (a Byzantine node
+    // withholding cooperation); the center is node 0.
+    circles.back()->callbacks().check = [i, b = byzantine](sim::NodeId, const Value&) {
+      return i == 0 || i > b;
+    };
+    circles.back()->start();
+  }
+  world.run_until(5.0);
+  // Crash F_C further members.
+  for (int i = byzantine + 1; i <= byzantine + crashed; ++i) {
+    world.node(static_cast<sim::NodeId>(i)).set_down(true);
+  }
+
+  bool agreed = false;
+  circles[0]->callbacks().on_agreed = [&](const AgreedMsg&, bool is_center) {
+    if (is_center) agreed = true;
+  };
+  circles[0]->initiate(VotingMode::kDeterministic, *level, Value{1});
+  world.run_until(7.0);
+  EXPECT_TRUE(agreed) << "budget F_B=" << byzantine << " F_C=" << crashed;
+
+  // One crash beyond the budget: the next round must abort.
+  world.node(static_cast<sim::NodeId>(byzantine + crashed + 1)).set_down(true);
+  bool agreed2 = false;
+  bool aborted = false;
+  circles[0]->callbacks().on_agreed = [&](const AgreedMsg&, bool is_center) {
+    if (is_center) agreed2 = true;
+  };
+  circles[0]->callbacks().on_abort = [&](std::uint64_t, const Value&) { aborted = true; };
+  circles[0]->initiate(VotingMode::kDeterministic, *level, Value{2});
+  world.run_until(10.0);
+  EXPECT_FALSE(agreed2);
+  EXPECT_TRUE(aborted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, DependabilitySim,
+                         ::testing::Values(std::make_tuple(0, 0), std::make_tuple(1, 0),
+                                           std::make_tuple(0, 1), std::make_tuple(1, 1),
+                                           std::make_tuple(2, 1), std::make_tuple(0, 3)));
+
+}  // namespace
+}  // namespace icc::core

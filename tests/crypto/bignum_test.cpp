@@ -1,0 +1,166 @@
+// Unit + property tests for the fixed-capacity bignum.
+#include "crypto/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace icc::crypto {
+namespace {
+
+Bignum rnd(std::mt19937_64& eng, int bits) {
+  return Bignum::random_bits(bits, [&] { return eng(); });
+}
+
+TEST(Bignum, ZeroAndOne) {
+  Bignum z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0);
+  Bignum one{1};
+  EXPECT_TRUE(one.is_one());
+  EXPECT_TRUE(one.is_odd());
+  EXPECT_EQ(one.bit_length(), 1);
+}
+
+TEST(Bignum, HexRoundTrip) {
+  const char* kCases[] = {"0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef",
+                          "10000000000000000"};
+  for (const char* c : kCases) {
+    EXPECT_EQ(Bignum::from_hex(c).to_hex(), c);
+  }
+}
+
+TEST(Bignum, BytesRoundTrip) {
+  std::mt19937_64 eng{7};
+  for (int bits : {8, 64, 65, 256, 1024}) {
+    const Bignum a = rnd(eng, bits);
+    EXPECT_EQ(Bignum::from_bytes(a.to_bytes()), a) << bits;
+  }
+}
+
+TEST(Bignum, AddSubInverse) {
+  std::mt19937_64 eng{11};
+  for (int i = 0; i < 200; ++i) {
+    const Bignum a = rnd(eng, 200);
+    const Bignum b = rnd(eng, 150);
+    EXPECT_EQ(Bignum::sub(Bignum::add(a, b), b), a);
+  }
+}
+
+TEST(Bignum, MulMatchesKnownValues) {
+  EXPECT_EQ(Bignum::mul(Bignum::from_hex("ffffffffffffffff"), Bignum::from_hex("ffffffffffffffff")).to_hex(),
+            "fffffffffffffffe0000000000000001");
+  EXPECT_EQ(Bignum::mul(Bignum{0}, Bignum::from_hex("deadbeef")).to_hex(), "0");
+}
+
+TEST(Bignum, DivModIdentityProperty) {
+  std::mt19937_64 eng{13};
+  for (int i = 0; i < 300; ++i) {
+    const Bignum a = rnd(eng, 512);
+    const Bignum b = rnd(eng, 64 + static_cast<int>(eng() % 448));
+    Bignum q, r;
+    Bignum::divmod(a, b, q, r);
+    EXPECT_LT(Bignum::cmp(r, b), 0);
+    EXPECT_EQ(Bignum::add(Bignum::mul(q, b), r), a);
+  }
+}
+
+TEST(Bignum, DivModSmallDivisor) {
+  std::mt19937_64 eng{17};
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = rnd(eng, 256);
+    const std::uint64_t d = eng() | 1;
+    Bignum q, r;
+    Bignum::divmod(a, Bignum{d}, q, r);
+    EXPECT_EQ(r.low_u64(), a.mod_u64(d));
+    EXPECT_EQ(Bignum::add(Bignum::mul_u64(q, d), r), a);
+  }
+}
+
+TEST(Bignum, DivByZeroThrows) {
+  Bignum q, r;
+  EXPECT_THROW(Bignum::divmod(Bignum{5}, Bignum{}, q, r), std::domain_error);
+}
+
+TEST(Bignum, SubUnderflowThrows) {
+  EXPECT_THROW(Bignum::sub(Bignum{3}, Bignum{5}), std::underflow_error);
+}
+
+TEST(Bignum, ShiftRoundTrip) {
+  std::mt19937_64 eng{19};
+  for (unsigned s : {1u, 7u, 63u, 64u, 65u, 130u}) {
+    const Bignum a = rnd(eng, 200);
+    EXPECT_EQ(a.shifted_left(s).shifted_right(s), a) << s;
+  }
+}
+
+TEST(Bignum, ModExpSmallKnown) {
+  // 3^4 mod 7 == 4; 2^10 mod 1000 == 24
+  EXPECT_EQ(Bignum::modexp(Bignum{3}, Bignum{4}, Bignum{7}).low_u64(), 4u);
+  EXPECT_EQ(Bignum::modexp(Bignum{2}, Bignum{10}, Bignum{1000}).low_u64(), 24u);
+}
+
+TEST(Bignum, FermatLittleTheoremProperty) {
+  // a^(p-1) = 1 mod p for prime p = 2^61 - 1.
+  const std::uint64_t p = (1ull << 61) - 1;
+  std::mt19937_64 eng{23};
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a{(eng() % (p - 2)) + 1};
+    EXPECT_TRUE(Bignum::modexp(a, Bignum{p - 1}, Bignum{p}).is_one());
+  }
+}
+
+TEST(Bignum, ModInverseProperty) {
+  const std::uint64_t p = (1ull << 61) - 1;
+  std::mt19937_64 eng{29};
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a{(eng() % (p - 2)) + 1};
+    const Bignum inv = Bignum::mod_inverse(a, Bignum{p});
+    EXPECT_TRUE(Bignum::modmul(a, inv, Bignum{p}).is_one());
+  }
+}
+
+TEST(Bignum, ModInverseLarge) {
+  std::mt19937_64 eng{31};
+  const Bignum m = rnd(eng, 512);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = rnd(eng, 300);
+    if (!Bignum::gcd(a, m).is_one()) continue;
+    EXPECT_TRUE(Bignum::modmul(a, Bignum::mod_inverse(a, m), m).is_one());
+  }
+}
+
+TEST(Bignum, ModInverseNonInvertibleThrows) {
+  EXPECT_THROW(Bignum::mod_inverse(Bignum{6}, Bignum{9}), std::domain_error);
+}
+
+TEST(Bignum, GcdKnown) {
+  EXPECT_EQ(Bignum::gcd(Bignum{12}, Bignum{18}).low_u64(), 6u);
+  EXPECT_TRUE(Bignum::gcd(Bignum{17}, Bignum{31}).is_one());
+}
+
+TEST(Bignum, ModMulAssociativityProperty) {
+  std::mt19937_64 eng{37};
+  const Bignum m = rnd(eng, 256);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = rnd(eng, 256);
+    const Bignum b = rnd(eng, 256);
+    const Bignum c = rnd(eng, 256);
+    EXPECT_EQ(Bignum::modmul(Bignum::modmul(a, b, m), c, m),
+              Bignum::modmul(a, Bignum::modmul(b, c, m), m));
+  }
+}
+
+TEST(Bignum, ModExpMatchesRepeatedMul) {
+  std::mt19937_64 eng{41};
+  const Bignum m = rnd(eng, 128);
+  const Bignum base = rnd(eng, 100);
+  Bignum acc{1};
+  for (std::uint64_t e = 0; e <= 40; ++e) {
+    EXPECT_EQ(Bignum::modexp(base, Bignum{e}, m), acc) << e;
+    acc = Bignum::modmul(acc, base, m);
+  }
+}
+
+}  // namespace
+}  // namespace icc::crypto

@@ -1,0 +1,397 @@
+// Tests for SHA-256 / HMAC, prime generation, RSA, Shamir sharing, Shoup
+// threshold RSA, the two ThresholdScheme implementations, and NS-Lowe.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "crypto/hmac.hpp"
+#include "crypto/model_scheme.hpp"
+#include "crypto/ns_lowe.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/shoup_scheme.hpp"
+#include "crypto/threshold_rsa.hpp"
+
+namespace icc::crypto {
+namespace {
+
+WordSource words_from(std::mt19937_64& eng) {
+  return [&eng] { return eng(); };
+}
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, Fips180KnownVectors) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'x');
+  Sha256 ctx;
+  for (std::size_t i = 0; i < msg.size(); i += 37) {
+    ctx.update(std::string_view{msg}.substr(i, 37));
+  }
+  EXPECT_EQ(ctx.finish(), Sha256::hash(msg));
+}
+
+TEST(Sha256, LongMessagePaddingBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding boundaries must all work.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string m(len, 'a');
+    Sha256 a;
+    a.update(m);
+    const Digest d1 = a.finish();
+    const Digest d2 = Sha256::hash(m);
+    EXPECT_EQ(d1, d2) << len;
+  }
+}
+
+// ------------------------------------------------------------------- HMAC
+
+TEST(Hmac, Rfc4231Vector1) {
+  // Key = 20 bytes of 0x0b, data = "Hi There".
+  std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmac_sha256(std::span<const std::uint8_t>{key},
+                               std::span{reinterpret_cast<const std::uint8_t*>("Hi There"), 8});
+  EXPECT_EQ(to_hex(mac), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Vector2) {
+  const auto mac = hmac_sha256(
+      std::span{reinterpret_cast<const std::uint8_t*>("Jefe"), 4},
+      std::span{reinterpret_cast<const std::uint8_t*>("what do ya want for nothing?"), 28});
+  EXPECT_EQ(to_hex(mac), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  Digest k1{};
+  Digest k2{};
+  k2[0] = 1;
+  EXPECT_FALSE(digest_equal(hmac_sha256(k1, "m"), hmac_sha256(k2, "m")));
+}
+
+// ------------------------------------------------------------------ Prime
+
+TEST(Prime, SmallKnownPrimes) {
+  std::mt19937_64 eng{1};
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 65537ull, (1ull << 61) - 1}) {
+    EXPECT_TRUE(is_probable_prime(Bignum{p}, 20, words_from(eng))) << p;
+  }
+  for (std::uint64_t c : {1ull, 4ull, 9ull, 65536ull, 561ull /*Carmichael*/}) {
+    EXPECT_FALSE(is_probable_prime(Bignum{c}, 20, words_from(eng))) << c;
+  }
+}
+
+TEST(Prime, GeneratedPrimesHaveRequestedWidth) {
+  std::mt19937_64 eng{2};
+  for (int bits : {64, 128, 256}) {
+    const Bignum p = random_prime(bits, words_from(eng));
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, 20, words_from(eng)));
+  }
+}
+
+// -------------------------------------------------------------------- RSA
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  std::mt19937_64 eng{3};
+  const RsaKeyPair key = rsa_generate(512, words_from(eng));
+  const auto msg = bytes("route reply for destination 42");
+  const Bignum sigma = rsa_sign(key, msg);
+  EXPECT_TRUE(rsa_verify(key.pub, msg, sigma));
+  EXPECT_FALSE(rsa_verify(key.pub, bytes("tampered"), sigma));
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+  std::mt19937_64 eng{4};
+  const RsaKeyPair key = rsa_generate(512, words_from(eng));
+  const Bignum m = Bignum::from_hex("123456789abcdef");
+  EXPECT_EQ(rsa_decrypt(key, rsa_encrypt(key.pub, m)), m);
+}
+
+TEST(Rsa, HashToGroupInRange) {
+  std::mt19937_64 eng{5};
+  const RsaKeyPair key = rsa_generate(256, words_from(eng));
+  for (int i = 0; i < 20; ++i) {
+    const auto msg = bytes("m" + std::to_string(i));
+    const Bignum h = hash_to_group(msg, key.pub.n);
+    EXPECT_LT(Bignum::cmp(h, key.pub.n), 0);
+    EXPECT_FALSE(h.is_zero());
+  }
+}
+
+// ----------------------------------------------------------------- Shamir
+
+TEST(Shamir, ReconstructFromExactThreshold) {
+  std::mt19937_64 eng{6};
+  const Bignum prime = random_prime(128, words_from(eng));
+  const Bignum secret = Bignum::mod(Bignum::random_bits(100, words_from(eng)), prime);
+  const auto shares = shamir_share(secret, prime, 7, 4, words_from(eng));
+  // Any 4 shares reconstruct.
+  std::vector<ShamirShare> subset{shares[1], shares[3], shares[5], shares[6]};
+  EXPECT_EQ(shamir_reconstruct(subset, prime), secret);
+}
+
+TEST(Shamir, AllShareSubsetsOfThresholdSizeAgree) {
+  std::mt19937_64 eng{7};
+  const Bignum prime = random_prime(64, words_from(eng));
+  const Bignum secret{123456789};
+  const auto shares = shamir_share(secret, prime, 5, 3, words_from(eng));
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      for (std::size_t c = b + 1; c < 5; ++c) {
+        std::vector<ShamirShare> subset{shares[a], shares[b], shares[c]};
+        EXPECT_EQ(shamir_reconstruct(subset, prime), secret);
+      }
+    }
+  }
+}
+
+TEST(Shamir, BelowThresholdReconstructsWrongValue) {
+  std::mt19937_64 eng{8};
+  const Bignum prime = random_prime(64, words_from(eng));
+  const Bignum secret{42};
+  const auto shares = shamir_share(secret, prime, 5, 3, words_from(eng));
+  std::vector<ShamirShare> subset{shares[0], shares[1]};
+  // Two shares interpolate a line, not the cubic-free polynomial: with
+  // overwhelming probability the result differs from the secret.
+  EXPECT_NE(shamir_reconstruct(subset, prime), secret);
+}
+
+TEST(Shamir, DuplicateIndexThrows) {
+  std::mt19937_64 eng{9};
+  const Bignum prime = random_prime(64, words_from(eng));
+  const auto shares = shamir_share(Bignum{1}, prime, 3, 2, words_from(eng));
+  std::vector<ShamirShare> dup{shares[0], shares[0]};
+  EXPECT_THROW(shamir_reconstruct(dup, prime), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- Threshold RSA
+
+TEST(ThresholdRsa, CombineExactThreshold) {
+  std::mt19937_64 eng{10};
+  const ThresholdRsa trsa = ThresholdRsa::deal(512, 5, 3, words_from(eng));
+  const auto msg = bytes("agreed value v at level L");
+  std::vector<ThresholdRsa::PartialSignature> partials;
+  for (std::uint32_t i : {0u, 2u, 4u}) {
+    partials.push_back(trsa.partial_sign(trsa.share(i), msg));
+  }
+  const auto sigma = trsa.combine(partials, msg);
+  ASSERT_TRUE(sigma.has_value());
+  EXPECT_TRUE(trsa.verify(msg, *sigma));
+  EXPECT_FALSE(trsa.verify(bytes("other message"), *sigma));
+}
+
+TEST(ThresholdRsa, AnySubsetCombines) {
+  std::mt19937_64 eng{11};
+  const ThresholdRsa trsa = ThresholdRsa::deal(512, 4, 2, words_from(eng));
+  const auto msg = bytes("m");
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = a + 1; b < 4; ++b) {
+      std::vector<ThresholdRsa::PartialSignature> partials{
+          trsa.partial_sign(trsa.share(a), msg), trsa.partial_sign(trsa.share(b), msg)};
+      const auto sigma = trsa.combine(partials, msg);
+      ASSERT_TRUE(sigma.has_value()) << a << "," << b;
+      EXPECT_TRUE(trsa.verify(msg, *sigma));
+    }
+  }
+}
+
+TEST(ThresholdRsa, TooFewPartialsFails) {
+  std::mt19937_64 eng{12};
+  const ThresholdRsa trsa = ThresholdRsa::deal(512, 5, 3, words_from(eng));
+  const auto msg = bytes("m");
+  std::vector<ThresholdRsa::PartialSignature> partials{
+      trsa.partial_sign(trsa.share(0), msg), trsa.partial_sign(trsa.share(1), msg)};
+  EXPECT_FALSE(trsa.combine(partials, msg).has_value());
+}
+
+TEST(ThresholdRsa, DuplicatePartialsDoNotCount) {
+  std::mt19937_64 eng{13};
+  const ThresholdRsa trsa = ThresholdRsa::deal(512, 5, 3, words_from(eng));
+  const auto msg = bytes("m");
+  const auto p0 = trsa.partial_sign(trsa.share(0), msg);
+  std::vector<ThresholdRsa::PartialSignature> partials{p0, p0, p0};
+  EXPECT_FALSE(trsa.combine(partials, msg).has_value());
+}
+
+TEST(ThresholdRsa, CorruptPartialDetected) {
+  std::mt19937_64 eng{14};
+  const ThresholdRsa trsa = ThresholdRsa::deal(512, 4, 2, words_from(eng));
+  const auto msg = bytes("m");
+  auto p0 = trsa.partial_sign(trsa.share(0), msg);
+  auto p1 = trsa.partial_sign(trsa.share(1), msg);
+  p1.value = Bignum::add_u64(p1.value, 1);  // Byzantine voter
+  std::vector<ThresholdRsa::PartialSignature> partials{p0, p1};
+  EXPECT_FALSE(trsa.combine(partials, msg).has_value());
+}
+
+// ------------------------------------------------------- ThresholdScheme
+
+class SchemeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    eng_.seed(99);
+    if (GetParam()) {
+      scheme_ = std::make_unique<ShoupThresholdScheme>(384, 6, 2, words_from(eng_));
+    } else {
+      scheme_ = std::make_unique<ModelThresholdScheme>(99, 2, 1024);
+    }
+    for (std::uint32_t i = 0; i < 6; ++i) signers_.push_back(scheme_->issue_signer(i));
+  }
+
+  std::mt19937_64 eng_;
+  std::unique_ptr<ThresholdScheme> scheme_;
+  std::vector<std::unique_ptr<ThresholdSigner>> signers_;
+};
+
+TEST_P(SchemeTest, LevelOneNeedsTwoSigners) {
+  const auto msg = bytes("RREP for D");
+  std::vector<PartialSig> partials{signers_[0]->partial_sign(1, msg)};
+  EXPECT_FALSE(scheme_->combine(1, msg, partials).has_value());
+  partials.push_back(signers_[1]->partial_sign(1, msg));
+  const auto sig = scheme_->combine(1, msg, partials);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(scheme_->verify(msg, *sig));
+}
+
+TEST_P(SchemeTest, LevelTwoNeedsThreeSigners) {
+  const auto msg = bytes("sensor notification");
+  std::vector<PartialSig> partials{signers_[0]->partial_sign(2, msg),
+                                   signers_[1]->partial_sign(2, msg)};
+  EXPECT_FALSE(scheme_->combine(2, msg, partials).has_value());
+  partials.push_back(signers_[2]->partial_sign(2, msg));
+  const auto sig = scheme_->combine(2, msg, partials);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(scheme_->verify(msg, *sig));
+}
+
+TEST_P(SchemeTest, CrossLevelPartialsRejected) {
+  const auto msg = bytes("m");
+  // Two level-1 partials plus a level-2 partial must not make a level-2 sig.
+  std::vector<PartialSig> partials{signers_[0]->partial_sign(1, msg),
+                                   signers_[1]->partial_sign(1, msg),
+                                   signers_[2]->partial_sign(2, msg)};
+  EXPECT_FALSE(scheme_->combine(2, msg, partials).has_value());
+}
+
+TEST_P(SchemeTest, SignatureBoundToMessage) {
+  const auto msg = bytes("v=42");
+  std::vector<PartialSig> partials{signers_[0]->partial_sign(1, msg),
+                                   signers_[1]->partial_sign(1, msg)};
+  const auto sig = scheme_->combine(1, msg, partials);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_FALSE(scheme_->verify(bytes("v=43"), *sig));
+}
+
+TEST_P(SchemeTest, PartialVerification) {
+  const auto msg = bytes("m");
+  PartialSig good = signers_[3]->partial_sign(1, msg);
+  EXPECT_TRUE(scheme_->verify_partial(msg, good));
+  PartialSig forged = good;
+  forged.signer = 4;  // claims to be someone else
+  EXPECT_FALSE(scheme_->verify_partial(msg, forged));
+  PartialSig tampered = good;
+  tampered.data[0] ^= 0xff;
+  EXPECT_FALSE(scheme_->verify_partial(msg, tampered));
+}
+
+TEST_P(SchemeTest, OnAirSizesArePositive) {
+  EXPECT_GT(scheme_->partial_sig_bytes(), 0u);
+  EXPECT_GT(scheme_->signature_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelAndShoup, SchemeTest, ::testing::Values(false, true),
+                         [](const auto& info) { return info.param ? "Shoup" : "Model"; });
+
+// ---------------------------------------------------------------- NS-Lowe
+
+class NslTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    eng_.seed(123);
+    if (GetParam()) {
+      cipher_ = std::make_unique<RsaCipher>(384, 4, words_from(eng_));
+    } else {
+      cipher_ = std::make_unique<ModelCipher>();
+    }
+  }
+  Nonce nonce(std::uint8_t fill) {
+    Nonce n{};
+    n.fill(fill);
+    n[0] = static_cast<std::uint8_t>(eng_());
+    return n;
+  }
+  std::mt19937_64 eng_;
+  std::unique_ptr<AsymmetricCipher> cipher_;
+};
+
+TEST_P(NslTest, HandshakeEstablishesSharedKey) {
+  NslSession alice = NslSession::initiate(0, 1, nonce(0xaa));
+  const Ciphertext m1 = alice.message1(*cipher_);
+  auto bob = NslSession::respond(1, m1, nonce(0xbb), *cipher_);
+  ASSERT_TRUE(bob.has_value());
+  EXPECT_EQ(bob->peer(), 0u);
+  const Ciphertext m2 = bob->message2(*cipher_);
+  const auto m3 = alice.on_message2(m2, *cipher_);
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_TRUE(bob->on_message3(*m3, *cipher_));
+  EXPECT_TRUE(alice.complete());
+  EXPECT_TRUE(bob->complete());
+  EXPECT_TRUE(digest_equal(alice.session_key(), bob->session_key()));
+}
+
+TEST_P(NslTest, LoweFixRejectsIdentityMismatch) {
+  // Classic Lowe attack shape: Alice initiates to Mallory (2); Mallory
+  // replays message 1 to Bob (1); Bob's message 2 names Bob, so Alice —
+  // who believes she talks to Mallory — must reject it.
+  NslSession alice = NslSession::initiate(0, 2, nonce(0x01));
+  const Ciphertext m1_to_mallory = alice.message1(*cipher_);
+  // Mallory decrypts (it is addressed to her) and re-encrypts to Bob.
+  const auto inner = cipher_->decrypt(2, m1_to_mallory);
+  ASSERT_TRUE(inner.has_value());
+  const Ciphertext m1_to_bob{1, *inner};
+  const Ciphertext replayed = cipher_->encrypt(1, *inner);
+  auto bob = NslSession::respond(1, replayed, nonce(0x02), *cipher_);
+  ASSERT_TRUE(bob.has_value());
+  const Ciphertext m2 = bob->message2(*cipher_);
+  // Alice must reject: message 2 names node 1, she expected node 2.
+  EXPECT_FALSE(alice.on_message2(m2, *cipher_).has_value());
+  (void)m1_to_bob;
+}
+
+TEST_P(NslTest, WrongNonceRejected) {
+  NslSession alice = NslSession::initiate(0, 1, nonce(0x05));
+  const Ciphertext m1 = alice.message1(*cipher_);
+  auto bob = NslSession::respond(1, m1, nonce(0x06), *cipher_);
+  ASSERT_TRUE(bob.has_value());
+  const Ciphertext m2 = bob->message2(*cipher_);
+  const auto m3 = alice.on_message2(m2, *cipher_);
+  ASSERT_TRUE(m3.has_value());
+  // Garbled message 3: re-encrypt a wrong nonce.
+  std::vector<std::uint8_t> wrong(16, 0x77);
+  EXPECT_FALSE(bob->on_message3(cipher_->encrypt(1, wrong), *cipher_));
+}
+
+TEST_P(NslTest, DecryptOnlyByOwner) {
+  const Ciphertext ct = cipher_->encrypt(1, bytes("secret"));
+  EXPECT_FALSE(cipher_->decrypt(0, ct).has_value());
+  EXPECT_TRUE(cipher_->decrypt(1, ct).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelAndRsa, NslTest, ::testing::Values(false, true),
+                         [](const auto& info) { return info.param ? "Rsa" : "Model"; });
+
+}  // namespace
+}  // namespace icc::crypto

@@ -1,0 +1,240 @@
+// Tests for the fault-tolerant fusion module: the FT-cluster algorithm
+// (§4.3, the paper's algorithmic contribution), the FT-mean baseline, and
+// trilateration. Includes property-style parameterized sweeps over the
+// number of faulty observations.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fusion/ft_cluster.hpp"
+#include "fusion/ft_mean.hpp"
+#include "fusion/trilateration.hpp"
+
+namespace icc::fusion {
+namespace {
+
+// ------------------------------------------------------------- FT-cluster
+
+TEST(FtCluster, KeepsAllConsistentPoints) {
+  const std::vector<double> points{1.0, 1.1, 0.9, 1.05, 0.95};
+  const auto result = ft_cluster(points, 0.5);
+  EXPECT_TRUE(result.excluded.empty());
+  EXPECT_EQ(result.cluster.size(), points.size());
+  EXPECT_NEAR(result.estimate, 1.0, 0.05);
+}
+
+TEST(FtCluster, ExcludesSingleOutlier) {
+  // The Fig 5 scenario: p4 is a stuck-at-high sensor reading.
+  const std::vector<Vec2> points{{1.8, 2.0}, {2.2, 1.9}, {2.0, 2.2}, {5.0, 4.5}};
+  const auto result = ft_cluster(points, 1.0);
+  ASSERT_EQ(result.excluded.size(), 1u);
+  EXPECT_EQ(result.excluded[0], 3u);
+  EXPECT_NEAR(result.estimate.x, 2.0, 0.25);
+  EXPECT_NEAR(result.estimate.y, 2.0, 0.25);
+}
+
+TEST(FtCluster, TwoPointsNeverReduced) {
+  // The algorithm only removes points while |C| > 2 (Fig 4, line 3).
+  const std::vector<double> points{0.0, 100.0};
+  const auto result = ft_cluster(points, 1.0);
+  EXPECT_TRUE(result.excluded.empty());
+  EXPECT_DOUBLE_EQ(result.estimate, 50.0);
+}
+
+TEST(FtCluster, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(ft_cluster(std::vector<double>{}, 1.0).estimate, 0.0);
+  const auto one = ft_cluster(std::vector<double>{42.0}, 1.0);
+  EXPECT_DOUBLE_EQ(one.estimate, 42.0);
+  EXPECT_TRUE(one.excluded.empty());
+}
+
+TEST(FtCluster, RemovesWorstOutlierFirst) {
+  const std::vector<double> points{0.0, 0.1, -0.1, 0.05, 10.0, 50.0};
+  const auto result = ft_cluster(points, 1.0);
+  ASSERT_GE(result.excluded.size(), 2u);
+  // 50 is farther from the rest than 10, so it must be excluded first.
+  EXPECT_EQ(result.excluded[0], 5u);
+  EXPECT_EQ(result.excluded[1], 4u);
+  EXPECT_NEAR(result.estimate, 0.0125, 1e-9);
+}
+
+TEST(FtCluster, NoFaultAccuracyBeatsFtMean) {
+  // §4.3's motivation: with no faulty data, FT-mean discards 2F good
+  // observations while FT-cluster keeps everything, so over many trials the
+  // FT-cluster estimate has lower mean squared error.
+  std::mt19937_64 eng{17};
+  std::normal_distribution<double> noise{0.0, 1.0};
+  double se_cluster = 0.0;
+  double se_mean = 0.0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> obs;
+    for (int i = 0; i < 9; ++i) obs.push_back(5.0 + noise(eng));
+    const double est_cluster = ft_cluster(obs, 4.0).estimate;
+    const double est_mean = ft_mean(obs, 2);
+    se_cluster += (est_cluster - 5.0) * (est_cluster - 5.0);
+    se_mean += (est_mean - 5.0) * (est_mean - 5.0);
+  }
+  EXPECT_LT(se_cluster, se_mean);
+}
+
+/// Property sweep: with F < N/2 faulty points far from the truth, the
+/// estimate stays within the worst-case bound E* = (F/N) * deltaC/(1-2F/N)
+/// plus the sampling error of the correct points.
+class FtClusterFaultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtClusterFaultSweep, OutliersRemovedUpToHalf) {
+  const int f = GetParam();
+  const int n = 11;
+  std::mt19937_64 eng{static_cast<std::uint64_t>(100 + f)};
+  std::normal_distribution<double> noise{0.0, 0.5};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> obs;
+    for (int i = 0; i < n - f; ++i) obs.push_back(10.0 + noise(eng));
+    for (int i = 0; i < f; ++i) obs.push_back(500.0 + noise(eng));  // far faults
+    const auto result = ft_cluster(obs, 3.0);
+    EXPECT_NEAR(result.estimate, 10.0, 1.0) << "F=" << f;
+    EXPECT_EQ(result.excluded.size(), static_cast<std::size_t>(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCounts, FtClusterFaultSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(FtCluster, WorstCaseErrorFormula) {
+  // §4.3: F = N/3 => deltaF* = 3 deltaC and E* = deltaC.
+  EXPECT_DOUBLE_EQ(ft_cluster_worst_case_error(9, 3, 2.0), 2.0);
+  // F >= N/2 is unbounded.
+  EXPECT_TRUE(std::isinf(ft_cluster_worst_case_error(10, 5, 1.0)));
+  EXPECT_DOUBLE_EQ(ft_cluster_worst_case_error(10, 0, 1.0), 0.0);
+}
+
+TEST(FtCluster, AdversarialPointsAtThresholdBoundStayBounded) {
+  // Adversarial points colluding just inside the removal threshold shift
+  // the estimate by at most roughly E* (paper's worst-case analysis).
+  const int n = 12;
+  const int f = 4;
+  const double delta_c = 1.0;
+  const double eta = 2.0 * delta_c;
+  std::mt19937_64 eng{77};
+  std::uniform_real_distribution<double> unif{-delta_c, delta_c};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> obs;
+    for (int i = 0; i < n - f; ++i) obs.push_back(unif(eng));
+    // Colluders sit at the worst-case offset deltaC / (1 - 2F/N).
+    const double offset = delta_c / (1.0 - 2.0 * static_cast<double>(f) / n);
+    for (int i = 0; i < f; ++i) obs.push_back(offset);
+    const double estimate = ft_cluster(obs, eta).estimate;
+    const double bound = ft_cluster_worst_case_error(n, f, delta_c);
+    EXPECT_LE(std::abs(estimate), bound + delta_c + 1e-9);
+  }
+}
+
+// --------------------------------------------------------------- FT-mean
+
+TEST(FtMean, DropsExtremes) {
+  EXPECT_DOUBLE_EQ(ft_mean({1.0, 2.0, 3.0, 4.0, 100.0}, 1), 3.0);  // drops 1 and 100
+}
+
+TEST(FtMean, ZeroFaultsIsPlainMean) {
+  EXPECT_DOUBLE_EQ(ft_mean({1.0, 2.0, 3.0}, 0), 2.0);
+}
+
+TEST(FtMean, ThrowsWhenTooFewPoints) {
+  EXPECT_THROW(ft_mean({1.0, 2.0}, 1), std::invalid_argument);
+  EXPECT_THROW(ft_mean({1.0, 2.0, 3.0, 4.0}, 2), std::invalid_argument);
+}
+
+TEST(FtMean, Vector2DAppliesPerCoordinate) {
+  const std::vector<Vec2> points{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {100, -100}};
+  const Vec2 fused = ft_mean(points, 1);
+  EXPECT_DOUBLE_EQ(fused.x, 2.0);  // drops 0 and 100 in x
+  EXPECT_DOUBLE_EQ(fused.y, 1.0);  // drops -100 and 3 in y — per coordinate!
+}
+
+TEST(FtMean, BoundedDespiteArbitraryFaults) {
+  // With F faults and > 2F points, the result stays within the range of the
+  // correct observations (the classic approximate-agreement validity bound).
+  std::mt19937_64 eng{5};
+  std::uniform_real_distribution<double> unif{9.0, 11.0};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> obs;
+    for (int i = 0; i < 7; ++i) obs.push_back(unif(eng));
+    obs.push_back(1e9);
+    obs.push_back(-1e9);
+    const double fused = ft_mean(obs, 2);
+    EXPECT_GE(fused, 9.0);
+    EXPECT_LE(fused, 11.0);
+  }
+}
+
+// ---------------------------------------------------------- Trilateration
+
+TEST(Trilateration, ExactSolveForPerfectRanges) {
+  const Vec2 target{30.0, 40.0};
+  const RangeObservation a{{0, 0}, distance({0, 0}, target)};
+  const RangeObservation b{{100, 0}, distance({100, 0}, target)};
+  const RangeObservation c{{0, 100}, distance({0, 100}, target)};
+  const auto p = trilaterate(a, b, c);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, target.x, 1e-9);
+  EXPECT_NEAR(p->y, target.y, 1e-9);
+}
+
+TEST(Trilateration, CollinearAnchorsRejected) {
+  const RangeObservation a{{0, 0}, 10.0};
+  const RangeObservation b{{50, 0}, 10.0};
+  const RangeObservation c{{100, 0}, 10.0};
+  EXPECT_FALSE(trilaterate(a, b, c).has_value());
+}
+
+TEST(Trilateration, SkinnyTriangleRejectedByQualityGate) {
+  const RangeObservation a{{0, 0}, 10.0};
+  const RangeObservation b{{100, 0.1}, 10.0};
+  const RangeObservation c{{50, 0.05}, 10.0};
+  EXPECT_FALSE(trilaterate(a, b, c, /*min_area=*/25.0).has_value());
+}
+
+TEST(Trilateration, AllTriplesEnumerates) {
+  const Vec2 target{20, 20};
+  std::vector<RangeObservation> obs;
+  const Vec2 anchors[] = {{0, 0}, {50, 0}, {0, 50}, {50, 50}, {25, 60}};
+  for (const Vec2 anchor : anchors) {
+    obs.push_back(RangeObservation{anchor, distance(anchor, target)});
+  }
+  const auto estimates = trilaterate_all_triples(obs);
+  EXPECT_GE(estimates.size(), 8u);  // C(5,3)=10 minus any degenerate triples
+  for (const Vec2 e : estimates) {
+    EXPECT_NEAR(e.x, target.x, 1e-6);
+    EXPECT_NEAR(e.y, target.y, 1e-6);
+  }
+}
+
+TEST(Trilateration, MaxTriplesCapsOutput) {
+  std::vector<RangeObservation> obs;
+  const Vec2 target{20, 20};
+  std::mt19937_64 eng{8};
+  std::uniform_real_distribution<double> unif{0.0, 100.0};
+  for (int i = 0; i < 12; ++i) {
+    const Vec2 anchor{unif(eng), unif(eng)};
+    obs.push_back(RangeObservation{anchor, distance(anchor, target)});
+  }
+  EXPECT_LE(trilaterate_all_triples(obs, 10).size(), 10u);
+}
+
+TEST(Trilateration, NoisyRangesStayClose) {
+  const Vec2 target{60, 70};
+  std::mt19937_64 eng{21};
+  std::normal_distribution<double> noise{0.0, 0.5};
+  std::vector<RangeObservation> obs;
+  const Vec2 anchors[] = {{0, 0}, {120, 10}, {20, 130}, {100, 120}};
+  for (const Vec2 anchor : anchors) {
+    obs.push_back(RangeObservation{anchor, distance(anchor, target) + noise(eng)});
+  }
+  const auto estimates = trilaterate_all_triples(obs);
+  ASSERT_FALSE(estimates.empty());
+  const Vec2 fused = ft_cluster(estimates, 10.0).estimate;
+  EXPECT_LT(distance(fused, target), 5.0);
+}
+
+}  // namespace
+}  // namespace icc::fusion

@@ -1,0 +1,146 @@
+// Tests for geometry, RNG streams, mobility, and the energy meter.
+#include <gtest/gtest.h>
+
+#include "sim/energy.hpp"
+#include "sim/mobility.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/vec2.hpp"
+
+namespace icc::sim {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_EQ(a + Vec2(1, 1), Vec2(4, 5));
+  EXPECT_EQ(a - Vec2(1, 1), Vec2(2, 3));
+  EXPECT_EQ(a * 2.0, Vec2(6, 8));
+  EXPECT_EQ(a / 2.0, Vec2(1.5, 2));
+  EXPECT_DOUBLE_EQ(distance(Vec2(0, 0), Vec2(3, 4)), 5.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButReproducible) {
+  Rng parent1{7};
+  Rng parent2{7};
+  Rng child1 = parent1.fork(1);
+  Rng child2 = parent2.fork(1);
+  // Same seed + same salt => identical stream.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child1.uniform(0, 1), child2.uniform(0, 1));
+  }
+  // Different salt => (practically surely) a different stream.
+  Rng parent3{7};
+  Rng other = parent3.fork(2);
+  Rng parent4{7};
+  Rng same_salt = parent4.fork(1);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (other.uniform(0, 1) != same_salt.uniform(0, 1)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, PointInRectangle) {
+  Rng rng{4};
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 p = rng.point_in(100.0, 50.0);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+}
+
+TEST(StaticMobility, NeverMoves) {
+  StaticMobility m{Vec2{10, 20}};
+  EXPECT_EQ(m.position(0.0), Vec2(10, 20));
+  EXPECT_EQ(m.position(1000.0), Vec2(10, 20));
+}
+
+TEST(RandomWaypoint, StaysInsideAreaAndMoves) {
+  Scheduler sched;
+  RandomWaypoint::Params params;
+  params.width = 100.0;
+  params.height = 100.0;
+  params.min_speed = 5.0;
+  params.max_speed = 10.0;
+  RandomWaypoint m{params, Vec2{50, 50}, Rng{9}};
+  m.start(sched);
+
+  Vec2 prev = m.position(0.0);
+  bool moved = false;
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    sched.run_until(t);
+    const Vec2 p = m.position(t);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+    if (distance(p, prev) > 0.1) moved = true;
+    prev = p;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(RandomWaypoint, SpeedIsBounded) {
+  Scheduler sched;
+  RandomWaypoint::Params params;
+  params.min_speed = 5.0;
+  params.max_speed = 10.0;
+  RandomWaypoint m{params, Vec2{50, 50}, Rng{11}};
+  m.start(sched);
+  for (double t = 0.0; t < 50.0; t += 0.5) {
+    sched.run_until(t + 0.5);
+    const double d = distance(m.position(t), m.position(t + 0.5));
+    EXPECT_LE(d, 10.0 * 0.5 + 1e-9) << "at t=" << t;
+  }
+}
+
+TEST(EnergyMeter, AccountsPerState) {
+  EnergyMeter meter;
+  EnergyParams params;  // tx .66, rx .395, idle .035
+  meter.charge_tx(2.0);
+  meter.charge_rx(3.0);
+  // 10 s run: 2 tx + 3 rx + 5 idle.
+  const double expected = 0.660 * 2 + 0.395 * 3 + 0.035 * 5;
+  EXPECT_DOUBLE_EQ(meter.total_joules(params, 10.0), expected);
+}
+
+TEST(EnergyMeter, ExtraEnergyAdds) {
+  EnergyMeter meter;
+  meter.charge_extra(0.5);
+  meter.charge_extra(0.25);
+  EXPECT_DOUBLE_EQ(meter.extra_joules(), 0.75);
+  EXPECT_DOUBLE_EQ(meter.total_joules(EnergyParams{}, 0.0), 0.75);
+}
+
+TEST(EnergyMeter, NegativeIdleClamped) {
+  // More radio time than elapsed time (possible at run boundaries) must not
+  // produce negative idle energy.
+  EnergyMeter meter;
+  meter.charge_tx(5.0);
+  const double e = meter.total_joules(EnergyParams{}, 1.0);
+  EXPECT_DOUBLE_EQ(e, 0.660 * 5.0);
+}
+
+}  // namespace
+}  // namespace icc::sim
