@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_blackhole.dir/fig7_blackhole.cpp.o"
+  "CMakeFiles/fig7_blackhole.dir/fig7_blackhole.cpp.o.d"
+  "fig7_blackhole"
+  "fig7_blackhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_blackhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sensors.dir/fig8_sensors.cpp.o"
+  "CMakeFiles/fig8_sensors.dir/fig8_sensors.cpp.o.d"
+  "fig8_sensors"
+  "fig8_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_weak_signal.dir/fig8_weak_signal.cpp.o"
+  "CMakeFiles/fig8_weak_signal.dir/fig8_weak_signal.cpp.o.d"
+  "fig8_weak_signal"
+  "fig8_weak_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_weak_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

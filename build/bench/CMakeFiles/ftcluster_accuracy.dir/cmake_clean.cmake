@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftcluster_accuracy.dir/ftcluster_accuracy.cpp.o"
+  "CMakeFiles/ftcluster_accuracy.dir/ftcluster_accuracy.cpp.o.d"
+  "ftcluster_accuracy"
+  "ftcluster_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftcluster_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grayhole_sweep.dir/grayhole_sweep.cpp.o"
+  "CMakeFiles/grayhole_sweep.dir/grayhole_sweep.cpp.o.d"
+  "grayhole_sweep"
+  "grayhole_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grayhole_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

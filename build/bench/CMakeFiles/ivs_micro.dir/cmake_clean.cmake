@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivs_micro.dir/ivs_micro.cpp.o"
+  "CMakeFiles/ivs_micro.dir/ivs_micro.cpp.o.d"
+  "ivs_micro"
+  "ivs_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivs_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackhole_demo.dir/blackhole_demo.cpp.o"
+  "CMakeFiles/blackhole_demo.dir/blackhole_demo.cpp.o.d"
+  "blackhole_demo"
+  "blackhole_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackhole_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_budget.dir/failure_budget.cpp.o"
+  "CMakeFiles/failure_budget.dir/failure_budget.cpp.o.d"
+  "failure_budget"
+  "failure_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_sign.dir/threshold_sign.cpp.o"
+  "CMakeFiles/threshold_sign.dir/threshold_sign.cpp.o.d"
+  "threshold_sign"
+  "threshold_sign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aodv/aodv.cpp" "src/aodv/CMakeFiles/icc_aodv.dir/aodv.cpp.o" "gcc" "src/aodv/CMakeFiles/icc_aodv.dir/aodv.cpp.o.d"
+  "/root/repo/src/aodv/blackhole.cpp" "src/aodv/CMakeFiles/icc_aodv.dir/blackhole.cpp.o" "gcc" "src/aodv/CMakeFiles/icc_aodv.dir/blackhole.cpp.o.d"
+  "/root/repo/src/aodv/blackhole_experiment.cpp" "src/aodv/CMakeFiles/icc_aodv.dir/blackhole_experiment.cpp.o" "gcc" "src/aodv/CMakeFiles/icc_aodv.dir/blackhole_experiment.cpp.o.d"
+  "/root/repo/src/aodv/guard.cpp" "src/aodv/CMakeFiles/icc_aodv.dir/guard.cpp.o" "gcc" "src/aodv/CMakeFiles/icc_aodv.dir/guard.cpp.o.d"
+  "/root/repo/src/aodv/watchdog.cpp" "src/aodv/CMakeFiles/icc_aodv.dir/watchdog.cpp.o" "gcc" "src/aodv/CMakeFiles/icc_aodv.dir/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/icc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/icc_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

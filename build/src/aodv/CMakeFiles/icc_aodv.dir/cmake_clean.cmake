@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_aodv.dir/aodv.cpp.o"
+  "CMakeFiles/icc_aodv.dir/aodv.cpp.o.d"
+  "CMakeFiles/icc_aodv.dir/blackhole.cpp.o"
+  "CMakeFiles/icc_aodv.dir/blackhole.cpp.o.d"
+  "CMakeFiles/icc_aodv.dir/blackhole_experiment.cpp.o"
+  "CMakeFiles/icc_aodv.dir/blackhole_experiment.cpp.o.d"
+  "CMakeFiles/icc_aodv.dir/guard.cpp.o"
+  "CMakeFiles/icc_aodv.dir/guard.cpp.o.d"
+  "CMakeFiles/icc_aodv.dir/watchdog.cpp.o"
+  "CMakeFiles/icc_aodv.dir/watchdog.cpp.o.d"
+  "libicc_aodv.a"
+  "libicc_aodv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_aodv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

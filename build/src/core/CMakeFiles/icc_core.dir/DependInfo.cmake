@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/icc_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/icc_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/suspicions.cpp" "src/core/CMakeFiles/icc_core.dir/suspicions.cpp.o" "gcc" "src/core/CMakeFiles/icc_core.dir/suspicions.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/icc_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/icc_core.dir/topology.cpp.o.d"
+  "/root/repo/src/core/voting.cpp" "src/core/CMakeFiles/icc_core.dir/voting.cpp.o" "gcc" "src/core/CMakeFiles/icc_core.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/icc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

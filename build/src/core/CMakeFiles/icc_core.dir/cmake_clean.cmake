@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_core.dir/framework.cpp.o"
+  "CMakeFiles/icc_core.dir/framework.cpp.o.d"
+  "CMakeFiles/icc_core.dir/suspicions.cpp.o"
+  "CMakeFiles/icc_core.dir/suspicions.cpp.o.d"
+  "CMakeFiles/icc_core.dir/topology.cpp.o"
+  "CMakeFiles/icc_core.dir/topology.cpp.o.d"
+  "CMakeFiles/icc_core.dir/voting.cpp.o"
+  "CMakeFiles/icc_core.dir/voting.cpp.o.d"
+  "libicc_core.a"
+  "libicc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

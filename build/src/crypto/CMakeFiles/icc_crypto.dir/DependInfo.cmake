@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/model_scheme.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/model_scheme.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/model_scheme.cpp.o.d"
+  "/root/repo/src/crypto/ns_lowe.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/ns_lowe.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/ns_lowe.cpp.o.d"
+  "/root/repo/src/crypto/pki.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/pki.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/pki.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/prime.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/shamir.cpp.o.d"
+  "/root/repo/src/crypto/shoup_scheme.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/shoup_scheme.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/shoup_scheme.cpp.o.d"
+  "/root/repo/src/crypto/threshold_rsa.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/threshold_rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/threshold_rsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/icc_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/icc_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/model_scheme.cpp.o"
+  "CMakeFiles/icc_crypto.dir/model_scheme.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/ns_lowe.cpp.o"
+  "CMakeFiles/icc_crypto.dir/ns_lowe.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/pki.cpp.o"
+  "CMakeFiles/icc_crypto.dir/pki.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/prime.cpp.o"
+  "CMakeFiles/icc_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/icc_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/icc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/icc_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/shoup_scheme.cpp.o"
+  "CMakeFiles/icc_crypto.dir/shoup_scheme.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/threshold_rsa.cpp.o"
+  "CMakeFiles/icc_crypto.dir/threshold_rsa.cpp.o.d"
+  "libicc_crypto.a"
+  "libicc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_fusion.dir/ft_mean.cpp.o"
+  "CMakeFiles/icc_fusion.dir/ft_mean.cpp.o.d"
+  "CMakeFiles/icc_fusion.dir/trilateration.cpp.o"
+  "CMakeFiles/icc_fusion.dir/trilateration.cpp.o.d"
+  "libicc_fusion.a"
+  "libicc_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

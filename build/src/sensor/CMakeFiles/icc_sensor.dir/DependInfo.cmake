@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/app.cpp" "src/sensor/CMakeFiles/icc_sensor.dir/app.cpp.o" "gcc" "src/sensor/CMakeFiles/icc_sensor.dir/app.cpp.o.d"
+  "/root/repo/src/sensor/base_station.cpp" "src/sensor/CMakeFiles/icc_sensor.dir/base_station.cpp.o" "gcc" "src/sensor/CMakeFiles/icc_sensor.dir/base_station.cpp.o.d"
+  "/root/repo/src/sensor/diffusion.cpp" "src/sensor/CMakeFiles/icc_sensor.dir/diffusion.cpp.o" "gcc" "src/sensor/CMakeFiles/icc_sensor.dir/diffusion.cpp.o.d"
+  "/root/repo/src/sensor/experiment.cpp" "src/sensor/CMakeFiles/icc_sensor.dir/experiment.cpp.o" "gcc" "src/sensor/CMakeFiles/icc_sensor.dir/experiment.cpp.o.d"
+  "/root/repo/src/sensor/field.cpp" "src/sensor/CMakeFiles/icc_sensor.dir/field.cpp.o" "gcc" "src/sensor/CMakeFiles/icc_sensor.dir/field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/icc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/icc_fusion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

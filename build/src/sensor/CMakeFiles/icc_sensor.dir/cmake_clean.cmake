@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_sensor.dir/app.cpp.o"
+  "CMakeFiles/icc_sensor.dir/app.cpp.o.d"
+  "CMakeFiles/icc_sensor.dir/base_station.cpp.o"
+  "CMakeFiles/icc_sensor.dir/base_station.cpp.o.d"
+  "CMakeFiles/icc_sensor.dir/diffusion.cpp.o"
+  "CMakeFiles/icc_sensor.dir/diffusion.cpp.o.d"
+  "CMakeFiles/icc_sensor.dir/experiment.cpp.o"
+  "CMakeFiles/icc_sensor.dir/experiment.cpp.o.d"
+  "CMakeFiles/icc_sensor.dir/field.cpp.o"
+  "CMakeFiles/icc_sensor.dir/field.cpp.o.d"
+  "libicc_sensor.a"
+  "libicc_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_sim.dir/mac.cpp.o"
+  "CMakeFiles/icc_sim.dir/mac.cpp.o.d"
+  "CMakeFiles/icc_sim.dir/medium.cpp.o"
+  "CMakeFiles/icc_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/icc_sim.dir/mobility.cpp.o"
+  "CMakeFiles/icc_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/icc_sim.dir/node.cpp.o"
+  "CMakeFiles/icc_sim.dir/node.cpp.o.d"
+  "CMakeFiles/icc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/icc_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/icc_sim.dir/world.cpp.o"
+  "CMakeFiles/icc_sim.dir/world.cpp.o.d"
+  "libicc_sim.a"
+  "libicc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_traffic.dir/cbr.cpp.o"
+  "CMakeFiles/icc_traffic.dir/cbr.cpp.o.d"
+  "libicc_traffic.a"
+  "libicc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

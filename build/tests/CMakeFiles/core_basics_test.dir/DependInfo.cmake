@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/core_basics_test.cpp" "tests/CMakeFiles/core_basics_test.dir/core/core_basics_test.cpp.o" "gcc" "tests/CMakeFiles/core_basics_test.dir/core/core_basics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/icc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/aodv/CMakeFiles/icc_aodv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/icc_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/icc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

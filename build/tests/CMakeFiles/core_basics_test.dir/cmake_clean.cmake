@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_basics_test.dir/core/core_basics_test.cpp.o"
+  "CMakeFiles/core_basics_test.dir/core/core_basics_test.cpp.o.d"
+  "core_basics_test"
+  "core_basics_test.pdb"
+  "core_basics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_basics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

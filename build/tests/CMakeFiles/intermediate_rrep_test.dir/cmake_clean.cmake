@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intermediate_rrep_test.dir/aodv/intermediate_rrep_test.cpp.o"
+  "CMakeFiles/intermediate_rrep_test.dir/aodv/intermediate_rrep_test.cpp.o.d"
+  "intermediate_rrep_test"
+  "intermediate_rrep_test.pdb"
+  "intermediate_rrep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intermediate_rrep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

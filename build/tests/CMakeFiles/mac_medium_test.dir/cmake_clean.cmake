@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_medium_test.dir/sim/mac_medium_test.cpp.o"
+  "CMakeFiles/mac_medium_test.dir/sim/mac_medium_test.cpp.o.d"
+  "mac_medium_test"
+  "mac_medium_test.pdb"
+  "mac_medium_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_medium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

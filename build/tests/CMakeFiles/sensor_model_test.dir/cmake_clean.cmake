@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_model_test.dir/sensor/sensor_model_test.cpp.o"
+  "CMakeFiles/sensor_model_test.dir/sensor/sensor_model_test.cpp.o.d"
+  "sensor_model_test"
+  "sensor_model_test.pdb"
+  "sensor_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_network_test.dir/sensor/sensor_network_test.cpp.o"
+  "CMakeFiles/sensor_network_test.dir/sensor/sensor_network_test.cpp.o.d"
+  "sensor_network_test"
+  "sensor_network_test.pdb"
+  "sensor_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

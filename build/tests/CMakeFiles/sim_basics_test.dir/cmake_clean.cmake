@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_basics_test.dir/sim/sim_basics_test.cpp.o"
+  "CMakeFiles/sim_basics_test.dir/sim/sim_basics_test.cpp.o.d"
+  "sim_basics_test"
+  "sim_basics_test.pdb"
+  "sim_basics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_basics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

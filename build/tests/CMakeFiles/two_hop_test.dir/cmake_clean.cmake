@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_hop_test.dir/core/two_hop_test.cpp.o"
+  "CMakeFiles/two_hop_test.dir/core/two_hop_test.cpp.o.d"
+  "two_hop_test"
+  "two_hop_test.pdb"
+  "two_hop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_hop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_test.dir/core/voting_test.cpp.o"
+  "CMakeFiles/voting_test.dir/core/voting_test.cpp.o.d"
+  "voting_test"
+  "voting_test.pdb"
+  "voting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

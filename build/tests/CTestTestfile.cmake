@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_basics_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_medium_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/core_basics_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/voting_test[1]_include.cmake")
+include("/root/repo/build/tests/aodv_test[1]_include.cmake")
+include("/root/repo/build/tests/guard_test[1]_include.cmake")
+include("/root/repo/build/tests/sensor_model_test[1]_include.cmake")
+include("/root/repo/build/tests/sensor_network_test[1]_include.cmake")
+include("/root/repo/build/tests/dependability_test[1]_include.cmake")
+include("/root/repo/build/tests/proactive_test[1]_include.cmake")
+include("/root/repo/build/tests/two_hop_test[1]_include.cmake")
+include("/root/repo/build/tests/adversarial_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/churn_test[1]_include.cmake")
+include("/root/repo/build/tests/intermediate_rrep_test[1]_include.cmake")
+include("/root/repo/build/tests/watchdog_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
