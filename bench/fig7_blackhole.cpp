@@ -3,12 +3,15 @@
 // ("No IC") and the inner-circle framework at dependability levels L=1, 2.
 //
 // Environment knobs: ICC_RUNS (default 5, paper: 50), ICC_SIM_TIME (default
-// 300 s, the paper's value).
+// 300 s, the paper's value), ICC_JSON (path for a structured run report;
+// ".csv" suffix selects CSV, anything else JSON).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "aodv/blackhole_experiment.hpp"
+#include "sim/report.hpp"
 
 namespace {
 
@@ -34,10 +37,13 @@ int main() {
 
   struct Series {
     const char* name;
+    const char* key;  ///< report-friendly identifier
     bool inner_circle;
     int level;
   };
-  const Series series[] = {{"No IC", false, 1}, {"IC, L=1", true, 1}, {"IC, L=2", true, 2}};
+  const Series series[] = {{"No IC", "no_ic", false, 1},
+                           {"IC, L=1", "ic_l1", true, 1},
+                           {"IC, L=2", "ic_l2", true, 2}};
 
   std::printf("Figure 7 — black hole attacks on AODV\n");
   std::printf("50 nodes, 1000x1000 m^2, random waypoint 10 m/s, 10 CBR connections\n");
@@ -58,28 +64,57 @@ int main() {
     }
   }
 
-  std::printf("Fig 7(a): network throughput [%% received/sent]\n");
+  std::printf("Fig 7(a): network throughput [%% received/sent, mean±stddev over runs]\n");
   std::printf("%-10s", "#malicious");
-  for (const auto& s : series) std::printf(" %10s", s.name);
+  for (const auto& s : series) std::printf(" %16s", s.name);
   std::printf("\n");
   for (std::size_t a = 0; a < attacker_counts.size(); ++a) {
     std::printf("%-10d", attacker_counts[a]);
     for (std::size_t s = 0; s < std::size(series); ++s) {
-      std::printf(" %9.1f%%", 100.0 * grid[s][a].throughput);
+      std::printf("  %8.1f%%±%4.1f", 100.0 * grid[s][a].throughput,
+                  100.0 * grid[s][a].throughput_runs.stddev());
     }
     std::printf("\n");
   }
 
-  std::printf("\nFig 7(b): per-node energy consumption [J]\n");
+  std::printf("\nFig 7(b): per-node energy consumption [J, mean±stddev over runs]\n");
   std::printf("%-10s", "#malicious");
-  for (const auto& s : series) std::printf(" %10s", s.name);
+  for (const auto& s : series) std::printf(" %16s", s.name);
   std::printf("\n");
   for (std::size_t a = 0; a < attacker_counts.size(); ++a) {
     std::printf("%-10d", attacker_counts[a]);
     for (std::size_t s = 0; s < std::size(series); ++s) {
-      std::printf(" %10.2f", grid[s][a].mean_energy_j);
+      std::printf("  %9.2f±%5.2f", grid[s][a].mean_energy_j,
+                  grid[s][a].energy_runs.stddev());
     }
     std::printf("\n");
+  }
+
+  // Structured export: every (series, attackers) cell contributes
+  // throughput, per-run mean energy, per-node energy, and latency series,
+  // each carrying count/mean/stddev/min/max.
+  if (const char* json_path = std::getenv("ICC_JSON"); json_path != nullptr && *json_path) {
+    icc::sim::RunReport report;
+    report.set_meta("experiment", "fig7_blackhole");
+    report.set_meta("runs", static_cast<std::uint64_t>(runs));
+    report.set_meta("sim_time_s", sim_time);
+    report.set_meta("seed", static_cast<std::uint64_t>(1000));
+    for (std::size_t s = 0; s < std::size(series); ++s) {
+      for (std::size_t a = 0; a < attacker_counts.size(); ++a) {
+        const BlackholeExperimentResult& r = grid[s][a];
+        const std::string cell =
+            std::string(series[s].key) + ".m" + std::to_string(attacker_counts[a]);
+        report.add_series("throughput." + cell, r.throughput_runs);
+        report.add_series("energy_j." + cell, r.energy_runs);
+        report.add_series("node_energy_j." + cell, r.node_energy_runs);
+        report.add_series("latency_s." + cell, r.latency_runs);
+      }
+    }
+    if (report.write_file(json_path)) {
+      std::printf("\nreport written to %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", json_path);
+    }
   }
 
   // Headline numbers the paper calls out in §5.1.

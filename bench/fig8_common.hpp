@@ -2,12 +2,14 @@
 // weak-signal variants).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "sensor/experiment.hpp"
+#include "sim/report.hpp"
 
 namespace icc::bench {
 
@@ -26,6 +28,20 @@ struct Fig8Row {
   sensor::SensorExperimentResult with_target;
   sensor::SensorExperimentResult no_target;
 };
+
+/// Lowercase alphanumerics, everything else collapsed to single '_'.
+inline std::string report_key(const std::string& label) {
+  std::string out;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
 
 /// Run the full Fig 8 grid (No IC + IC L in [2,7], five fault models) and
 /// print the six sub-figures as tables: miss alarm (a), false alarm (b),
@@ -98,6 +114,34 @@ inline void run_fig8(double kt, int runs, double sim_time) {
               [](const Fig8Row& r) { return r.with_target.detection_latency_s; });
   print_table("Fig 8(f): target localization error", "m",
               [](const Fig8Row& r) { return r.with_target.localization_error_m; });
+
+  // Structured export: per (config, fault) cell, the cross-run series for
+  // the headline metrics. ICC_JSON selects the path (".csv" => CSV).
+  if (const char* json_path = std::getenv("ICC_JSON"); json_path != nullptr && *json_path) {
+    sim::RunReport report;
+    report.set_meta("experiment", "fig8_sensors");
+    report.set_meta("kt", kt);
+    report.set_meta("runs", static_cast<std::uint64_t>(runs));
+    report.set_meta("sim_time_s", sim_time);
+    report.set_meta("seed", static_cast<std::uint64_t>(100));
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      for (std::size_t f = 0; f < std::size(faults); ++f) {
+        const Fig8Row& row = grid[c][f];
+        const std::string cell =
+            report_key(configs[c]) + "." + report_key(sensor::fault_name(faults[f]));
+        report.add_series("miss_prob." + cell, row.with_target.miss_prob_runs);
+        report.add_series("false_alarm." + cell, row.with_target.false_alarm_runs);
+        report.add_series("active_energy_mj." + cell, row.with_target.active_energy_runs);
+        report.add_series("active_energy_mj_quiet." + cell, row.no_target.active_energy_runs);
+        report.add_series("latency_s." + cell, row.with_target.latency_runs);
+      }
+    }
+    if (report.write_file(json_path)) {
+      std::printf("report written to %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", json_path);
+    }
+  }
 }
 
 }  // namespace icc::bench

@@ -53,5 +53,22 @@ int main(int argc, char** argv) {
       "\nattack dropped %llu data packets; inner circle suppressed %llu raw RREPs\n",
       static_cast<unsigned long long>(attacked_result.blackhole_dropped),
       static_cast<unsigned long long>(guarded_result.raw_rreps_suppressed));
+
+  // With ICC_PROFILE set the scheduler collects wall-clock timings; report
+  // the guarded run's breakdown by event category.
+  if (std::getenv("ICC_PROFILE") != nullptr) {
+    const icc::sim::SchedulerProfile& prof = guarded_result.profile;
+    std::printf("\nscheduler profile (inner-circle run): %llu events, %.3f s wall, "
+                "%.0f events/s\n",
+                static_cast<unsigned long long>(prof.executed_total()),
+                prof.wall_total_seconds(), prof.events_per_second());
+    for (std::size_t t = 0; t < icc::sim::kNumEventTags; ++t) {
+      if (prof.executed[t] == 0) continue;
+      std::printf("  %-10s %10llu events %10.3f ms\n",
+                  icc::sim::event_tag_name(static_cast<icc::sim::EventTag>(t)),
+                  static_cast<unsigned long long>(prof.executed[t]),
+                  1000.0 * prof.wall_seconds[t]);
+    }
+  }
   return 0;
 }

@@ -12,7 +12,15 @@ constexpr std::uint32_t kDataHeaderBytes = 20;
 }
 
 Aodv::Aodv(sim::Node& node, Params params)
-    : node_{node}, params_{params}, rng_{node.world().fork_rng(kAodvRngSalt + node.id())} {
+    : node_{node},
+      params_{params},
+      rng_{node.world().fork_rng(kAodvRngSalt + node.id())},
+      m_data_originated_{node.world().metrics().counter_id("aodv.data_originated")},
+      m_data_forwarded_{node.world().metrics().counter_id("aodv.data_forwarded")},
+      m_data_delivered_{node.world().metrics().counter_id("aodv.data_delivered")},
+      m_data_dropped_no_route_{node.world().metrics().counter_id("aodv.data_dropped_no_route")},
+      m_rreq_sent_{node.world().metrics().counter_id("aodv.rreq_sent")},
+      m_rrep_sent_{node.world().metrics().counter_id("aodv.rrep_sent")} {
   node_.register_handler(sim::Port::kAodv, [this](const sim::Packet& p, sim::NodeId from) {
     handle_packet(p, from);
   });
@@ -32,7 +40,7 @@ void Aodv::schedule_seen_cache_cleanup() {
   node_.world().sched().schedule_in(params_.seen_cache_timeout, [this] {
     seen_rreqs_.clear();
     schedule_seen_cache_cleanup();
-  });
+  }, sim::EventTag::kRouting);
 }
 
 sim::Time Aodv::now() const { return node_.world().now(); }
@@ -86,7 +94,7 @@ void Aodv::send_data(sim::NodeId dest, DataMsg data) {
   packet.port = sim::Port::kCbr;
   packet.size_bytes = data.app_bytes + kDataHeaderBytes;
   packet.body = std::make_shared<DataMsg>(data);
-  node_.world().stats().add("aodv.data_originated");
+  node_.world().metrics().add(m_data_originated_);
   forward_data(packet, data);
 }
 
@@ -110,7 +118,9 @@ void Aodv::forward_data(const sim::Packet& packet, const DataMsg&) {
     return;
   }
   // Intermediate node lost the route: drop and report.
-  node_.world().stats().add("aodv.data_dropped_no_route");
+  node_.world().metrics().add(m_data_dropped_no_route_);
+  node_.world().tracer().emit({now(), sim::TraceType::kPacketDrop, node_.id(), packet.src,
+                               packet.uid, packet.size_bytes, 0.0, "no_route"});
   if (params_.send_rerr) {
     auto rerr = std::make_shared<RerrMsg>();
     const auto rit = routes_.find(dest);
@@ -126,7 +136,7 @@ void Aodv::forward_data(const sim::Packet& packet, const DataMsg&) {
 }
 
 void Aodv::send_data_packet(sim::Packet packet, sim::NodeId next_hop) {
-  node_.world().stats().add("aodv.data_forwarded");
+  node_.world().metrics().add(m_data_forwarded_);
   node_.link_send(std::move(packet), next_hop);
 }
 
@@ -150,7 +160,8 @@ void Aodv::start_discovery(sim::NodeId dest) {
   broadcast_rreq(rreq);
 
   pending.retry_event = node_.world().sched().schedule_in(
-      params_.rreq_retry_interval, [this, dest] { retry_discovery(dest); });
+      params_.rreq_retry_interval, [this, dest] { retry_discovery(dest); },
+      sim::EventTag::kRouting);
 }
 
 void Aodv::retry_discovery(sim::NodeId dest) {
@@ -177,7 +188,7 @@ void Aodv::retry_discovery(sim::NodeId dest) {
   pending.retry_event = node_.world().sched().schedule_in(
       params_.rreq_retry_interval * (1 << pending.attempts), [this, dest] {
         retry_discovery(dest);
-      });
+      }, sim::EventTag::kRouting);
 }
 
 void Aodv::broadcast_rreq(const RreqMsg& rreq) {
@@ -187,7 +198,10 @@ void Aodv::broadcast_rreq(const RreqMsg& rreq) {
   packet.port = sim::Port::kAodv;
   packet.size_bytes = RreqMsg::kWireSize;
   packet.body = std::make_shared<RreqMsg>(rreq);
-  node_.world().stats().add("aodv.rreq_sent");
+  node_.world().metrics().add(m_rreq_sent_);
+  node_.world().tracer().emit({now(), sim::TraceType::kRouteRreqSent, node_.id(), rreq.dest,
+                               rreq.rreq_id, RreqMsg::kWireSize,
+                               static_cast<double>(rreq.hop_count), nullptr});
   node_.link_send(std::move(packet), sim::kBroadcast);
 }
 
@@ -208,8 +222,11 @@ void Aodv::drop_buffered(sim::NodeId dest) {
   if (it == pending_.end()) return;
   node_.world().sched().cancel(it->second.retry_event);
   node_.world().stats().add("aodv.discovery_failed");
-  node_.world().stats().add("aodv.data_dropped_no_route",
-                            static_cast<double>(it->second.buffered.size()));
+  node_.world().metrics().add(m_data_dropped_no_route_,
+                              static_cast<double>(it->second.buffered.size()));
+  node_.world().tracer().emit({now(), sim::TraceType::kRouteDiscoveryFailed, node_.id(), dest,
+                               0, 0, static_cast<double>(it->second.buffered.size()),
+                               "retries_exhausted"});
   pending_.erase(it);
 }
 
@@ -219,7 +236,7 @@ void Aodv::handle_packet(const sim::Packet& packet, sim::NodeId from) {
   if (const auto* data = packet.body_as<DataMsg>()) {
     update_route(from, from, 1, 0, false);  // the sender is a live neighbor
     if (packet.dst == node_.id()) {
-      node_.world().stats().add("aodv.data_delivered");
+      node_.world().metrics().add(m_data_delivered_);
       if (deliver_) deliver_(*data, packet.src);
     } else {
       forward_data(packet, *data);
@@ -280,7 +297,7 @@ void Aodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
   fwd.hop_count += 1;
   node_.world().sched().schedule_in(rng_.uniform(0.0, 0.01), [this, fwd] {
     broadcast_rreq(fwd);
-  });
+  }, sim::EventTag::kRouting);
 }
 
 void Aodv::send_rrep_towards(const RrepMsg& rrep) {
@@ -296,7 +313,10 @@ void Aodv::send_rrep_towards(const RrepMsg& rrep) {
   packet.port = sim::Port::kAodv;
   packet.size_bytes = RrepMsg::kWireSize;
   packet.body = std::make_shared<RrepMsg>(rrep);
-  node_.world().stats().add("aodv.rrep_sent");
+  node_.world().metrics().add(m_rrep_sent_);
+  node_.world().tracer().emit({now(), sim::TraceType::kRouteRrepSent, node_.id(),
+                               it->second.next_hop, 0, RrepMsg::kWireSize,
+                               static_cast<double>(rrep.hop_count), nullptr});
   node_.link_send(std::move(packet), it->second.next_hop);
 }
 
@@ -305,6 +325,8 @@ void Aodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
   update_route(rrep.dest, from, rrep.hop_count + 1, rrep.dest_seq, true);
 
   if (rrep.orig == node_.id()) {
+    node_.world().tracer().emit({now(), sim::TraceType::kRouteDiscovered, node_.id(), rrep.dest,
+                                 0, 0, static_cast<double>(rrep.hop_count + 1), nullptr});
     flush_buffer(rrep.dest);
     return;
   }

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "aodv/messages.hpp"
+#include "sim/metrics.hpp"
 #include "sim/node.hpp"
 #include "sim/rng.hpp"
 
@@ -102,6 +103,14 @@ class Aodv {
   Params params_;
   sim::Rng rng_;
   DeliverHandler deliver_;
+
+  // Interned ids for the data-plane counters hit on every packet.
+  sim::MetricId m_data_originated_;
+  sim::MetricId m_data_forwarded_;
+  sim::MetricId m_data_delivered_;
+  sim::MetricId m_data_dropped_no_route_;
+  sim::MetricId m_rreq_sent_;
+  sim::MetricId m_rrep_sent_;
 
   std::uint32_t own_seq_{1};
   std::uint32_t next_rreq_id_{1};

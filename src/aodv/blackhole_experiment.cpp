@@ -118,6 +118,18 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   result.watchdog_blacklisted =
       static_cast<std::uint64_t>(world.stats().get("watchdog.blacklisted"));
   result.mac_collisions = world.medium().collisions();
+  result.node_energy_j.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double e = world.node(static_cast<sim::NodeId>(i))
+                         .energy()
+                         .total_joules(world.config().energy, world.now());
+    result.node_energy_j.push_back(e);
+    // Also published as per-node gauges so a RunReport built from the
+    // world's registry carries the full energy map.
+    world.metrics().set(world.metrics().node_gauge_id("energy_j", static_cast<sim::NodeId>(i)),
+                        e);
+  }
+  result.profile = world.sched().profile();
   return result;
 }
 
@@ -137,6 +149,12 @@ BlackholeExperimentResult run_blackhole_experiment_averaged(BlackholeExperimentC
     total.voting_rounds += one.voting_rounds;
     total.watchdog_blacklisted += one.watchdog_blacklisted;
     total.mac_collisions += one.mac_collisions;
+    total.throughput_runs.add(one.throughput);
+    total.energy_runs.add(one.mean_energy_j);
+    total.latency_runs.add(one.mean_latency_s);
+    for (const double e : one.node_energy_j) total.node_energy_runs.add(e);
+    total.node_energy_j = one.node_energy_j;
+    total.profile = one.profile;
   }
   const double k = runs > 0 ? static_cast<double>(runs) : 1.0;
   total.throughput /= k;

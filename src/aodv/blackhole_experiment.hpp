@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/callbacks.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/types.hpp"
 
 namespace icc::aodv {
@@ -54,6 +56,20 @@ struct BlackholeExperimentResult {
   std::uint64_t watchdog_blacklisted{0};
   std::uint64_t voting_rounds{0};
   std::uint64_t mac_collisions{0};
+
+  /// Per-node energy totals, in joules, from the (last) run.
+  std::vector<double> node_energy_j;
+  /// Wall-clock profile of the (last) run's scheduler (empty unless
+  /// ICC_PROFILE was set).
+  sim::SchedulerProfile profile{};
+
+  // Cross-run distributions, filled by run_blackhole_experiment_averaged:
+  // one sample per run (node_energy_runs: one per node per run), so
+  // mean/stddev quantify run-to-run variability.
+  sim::SampleSeries throughput_runs;
+  sim::SampleSeries energy_runs;
+  sim::SampleSeries latency_runs;
+  sim::SampleSeries node_energy_runs;
 };
 
 /// Run one seeded instance of the experiment.

@@ -37,7 +37,8 @@ void Watchdog::on_outbound_data(const sim::Packet& packet, sim::NodeId next_hop)
   sim::World& world = aodv_.node().world();
   const std::uint64_t uid = data->app_uid;
   pending_[uid] = Pending{next_hop, world.now() + params_.overhear_timeout};
-  world.sched().schedule_in(params_.overhear_timeout, [this, uid] { check_pending(uid); });
+  world.sched().schedule_in(params_.overhear_timeout, [this, uid] { check_pending(uid); },
+                            sim::EventTag::kRouting);
 }
 
 void Watchdog::on_overheard(const sim::Frame& frame) {
@@ -63,11 +64,15 @@ void Watchdog::charge_failure(sim::NodeId suspect) {
   world.stats().add("watchdog.failures");
   std::vector<sim::Time>& history = failures_[suspect];
   history.push_back(world.now());
+  world.tracer().emit({world.now(), sim::TraceType::kWatchdogAccuse, aodv_.node().id(),
+                       suspect, 0, 0, static_cast<double>(history.size()), nullptr});
   const sim::Time horizon = world.now() - params_.failure_window;
   std::erase_if(history, [horizon](sim::Time t) { return t < horizon; });
   if (static_cast<int>(history.size()) >= params_.tolerance &&
       blacklist_.insert(suspect).second) {
     world.stats().add("watchdog.blacklisted");
+    world.tracer().emit({world.now(), sim::TraceType::kWatchdogBlacklist, aodv_.node().id(),
+                         suspect, 0, 0, static_cast<double>(history.size()), nullptr});
     aodv_.invalidate_routes_via(suspect);
   }
 }

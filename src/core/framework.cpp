@@ -72,11 +72,15 @@ sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
   // lose access to the inner-circle services and guarded templates.
   if (suspicions_.convicted(from)) {
     node_.world().stats().add("icc.suppressed_convicted");
+    node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
+                                 packet.uid, packet.size_bytes, 0.0, "suppressed_convicted"});
     return sim::FilterVerdict::kDrop;
   }
   const bool suspected = suspicions_.suspected(from, now);
   if (suspected && packet.port == sim::Port::kIvs) {
     node_.world().stats().add("icc.suppressed_suspected");
+    node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
+                                 packet.uid, packet.size_bytes, 0.0, "suppressed_suspected"});
     return sim::FilterVerdict::kDrop;
   }
   for (const IncomingMatcher& match : incoming_rules_) {
@@ -84,6 +88,8 @@ sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
       // Guarded template: the raw protocol message must never be accepted
       // off the air — only its agreed, signature-checked form is.
       node_.world().stats().add("icc.suppressed_raw");
+      node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
+                                   packet.uid, packet.size_bytes, 0.0, "suppressed_raw"});
       return sim::FilterVerdict::kDrop;
     }
   }

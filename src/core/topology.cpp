@@ -25,7 +25,8 @@ void SecureTopologyService::start() {
   // Desynchronize the first beacon across nodes.
   const sim::Time window =
       params_.initial_beacon_delay > 0.0 ? params_.initial_beacon_delay : params_.period;
-  node_.world().sched().schedule_in(rng_.uniform(0.0, window), [this] { send_beacon(); });
+  node_.world().sched().schedule_in(rng_.uniform(0.0, window), [this] { send_beacon(); },
+                                    sim::EventTag::kVoting);
 }
 
 std::vector<sim::NodeId> SecureTopologyService::inner_circle() const {
@@ -121,7 +122,8 @@ void SecureTopologyService::send_beacon() {
   node_.world().stats().add("sts.beacons_sent");
 
   const double jitter = rng_.uniform(0.9, 1.1);
-  node_.world().sched().schedule_in(params_.period * jitter, [this] { send_beacon(); });
+  node_.world().sched().schedule_in(params_.period * jitter, [this] { send_beacon(); },
+                                    sim::EventTag::kVoting);
 }
 
 void SecureTopologyService::handle_packet(const sim::Packet& packet, sim::NodeId from) {

@@ -24,6 +24,8 @@ sim::Time IvsService::now() const { return node_.world().now(); }
 
 void IvsService::charge_crypto(sim::Time) {
   node_.energy().charge_extra(params_.cost.energy_per_op_j);
+  node_.world().tracer().emit({now(), sim::TraceType::kEnergyCharge, node_.id(), sim::kNoNode,
+                               0, 0, params_.cost.energy_per_op_j, "crypto"});
 }
 
 void IvsService::broadcast(std::shared_ptr<const sim::Payload> body, std::uint32_t size) {
@@ -65,6 +67,10 @@ std::uint64_t IvsService::initiate(VotingMode mode, int level, Value value) {
   round.level = level;
   round.center_value = std::move(value);
   node_.world().stats().add("ivs.rounds_started");
+  node_.world().tracer().emit({now(), sim::TraceType::kVoteRoundStart, node_.id(), sim::kNoNode,
+                               round_id, 0, static_cast<double>(level),
+                               mode == VotingMode::kDeterministic ? "deterministic"
+                                                                  : "statistical"});
 
   const auto circle =
       params_.circle_hops >= 2 ? sts_.two_hop_circle() : sts_.inner_circle();
@@ -139,7 +145,8 @@ void IvsService::begin_propose_phase(std::uint64_t round_id, Round& round) {
 void IvsService::arm_timeout(std::uint64_t round_id, Round& round) {
   node_.world().sched().cancel(round.timeout);
   round.timeout = node_.world().sched().schedule_in(
-      params_.vote_timeout, [this, round_id] { abort_round(round_id); });
+      params_.vote_timeout, [this, round_id] { abort_round(round_id); },
+      sim::EventTag::kVoting);
 }
 
 void IvsService::abort_round(std::uint64_t round_id) {
@@ -149,6 +156,8 @@ void IvsService::abort_round(std::uint64_t round_id) {
   const Value value = std::move(it->second.center_value);
   rounds_.erase(it);
   node_.world().stats().add("ivs.rounds_aborted");
+  node_.world().tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
+                               round_id, 0, 0.0, "aborted"});
   if (callbacks_.on_abort) callbacks_.on_abort(round_id, value);
 }
 
@@ -253,6 +262,8 @@ void IvsService::complete_round(std::uint64_t round_id, Round& round) {
   node_.world().sched().cancel(round.timeout);
   rounds_.erase(round_id);
   node_.world().stats().add("ivs.rounds_completed");
+  node_.world().tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
+                               round_id, 0, static_cast<double>(round.level), "completed"});
 
   // "c assembles an agreed message and sends it to all its inner-circle
   // nodes" — participants learn the outcome (Fig 6's onAgreed updates).
@@ -299,7 +310,7 @@ void IvsService::handle_solicit(const SolicitMsg& msg, sim::NodeId from) {
   const sim::NodeId next_hop = direct ? msg.center : from;
   node_.world().sched().schedule_in(params_.cost.sign_delay, [this, next_hop, reply, size] {
     unicast(next_hop, reply, size);
-  });
+  }, sim::EventTag::kVoting);
 }
 
 void IvsService::handle_propose(const ProposeMsg& msg, sim::NodeId from) {
@@ -392,7 +403,7 @@ void IvsService::send_ack(sim::NodeId center, sim::NodeId next_hop, std::uint64_
   const auto size = static_cast<std::uint32_t>(20 + scheme_.partial_sig_bytes());
   node_.world().sched().schedule_in(params_.cost.sign_delay, [this, next_hop, ack, size] {
     unicast(next_hop, ack, size);
-  });
+  }, sim::EventTag::kVoting);
   node_.world().stats().add("ivs.acks_sent");
 }
 

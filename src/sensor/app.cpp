@@ -26,7 +26,7 @@ SensorApp::SensorApp(sim::Node& node, Diffusion& diffusion, const TargetField& f
   if (icc_ != nullptr) install_callbacks();
   // Sampling phases are independent across sensors.
   node_.world().sched().schedule_in(rng_.uniform(0.0, params_.sample_period),
-                                    [this] { sample_tick(); });
+                                    [this] { sample_tick(); }, sim::EventTag::kSensor);
 }
 
 void SensorApp::sample_tick() {
@@ -53,7 +53,8 @@ void SensorApp::sample_tick() {
     icc_->initiate(latest_.serialize());
   }
 
-  node_.world().sched().schedule_in(params_.sample_period, [this] { sample_tick(); });
+  node_.world().sched().schedule_in(params_.sample_period, [this] { sample_tick(); },
+                                    sim::EventTag::kSensor);
 }
 
 bool SensorApp::suppressed() const {

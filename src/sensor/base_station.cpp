@@ -52,13 +52,20 @@ void BaseStation::handle_notification(const NotificationMsg& msg) {
   if (agreed->sig.level != agreed->level || !scheme_->verify(signed_bytes, agreed->sig)) {
     ++rejected_;
     node_.world().stats().add("bs.agreed_rejected");
+    node_.world().tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
+                                 agreed->source, agreed->round, 0, 0.0, "rejected_signature"});
     return;
   }
   const auto fused = FusedNotification::deserialize(agreed->value);
   if (!fused || !fused->valid) {
     ++rejected_;
+    node_.world().tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
+                                 agreed->source, agreed->round, 0, 0.0, "rejected_payload"});
     return;
   }
+  node_.world().tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
+                               agreed->source, agreed->round, 0,
+                               static_cast<double>(fused->detectors), "accepted"});
   detections_.push_back(
       Detection{now, fused->t, fused->target_pos, fused->detectors, agreed->source});
 }

@@ -18,7 +18,8 @@ Diffusion::Diffusion(sim::Node& node, sim::NodeId sink, Params params)
                            handle_packet(p, from);
                          });
   if (node_.id() == sink_) {
-    node_.world().sched().schedule_in(params_.first_interest, [this] { flood_interest(); });
+    node_.world().sched().schedule_in(params_.first_interest, [this] { flood_interest(); },
+                                      sim::EventTag::kSensor);
   }
 }
 
@@ -43,7 +44,8 @@ void Diffusion::flood_interest() {
   node_.link_send(std::move(packet), sim::kBroadcast);
   node_.world().stats().add("diff.interests_sent");
 
-  node_.world().sched().schedule_in(params_.interest_period, [this] { flood_interest(); });
+  node_.world().sched().schedule_in(params_.interest_period, [this] { flood_interest(); },
+                                    sim::EventTag::kSensor);
 }
 
 void Diffusion::handle_packet(const sim::Packet& packet, sim::NodeId from) {
@@ -68,7 +70,7 @@ void Diffusion::handle_packet(const sim::Packet& packet, sim::NodeId from) {
     // Jitter the re-flood so neighboring rebroadcasts do not collide.
     node_.world().sched().schedule_in(rng_.uniform(0.0, 0.02), [this, p = std::move(p)] {
       node_.link_send(sim::Packet{p}, sim::kBroadcast);
-    });
+    }, sim::EventTag::kSensor);
     return;
   }
   if (const auto* notification = packet.body_as<NotificationMsg>()) {
@@ -93,6 +95,8 @@ void Diffusion::send_to_sink(std::vector<std::uint8_t> data) {
 void Diffusion::forward(const NotificationMsg& msg) {
   if (!has_gradient()) {
     node_.world().stats().add("diff.no_gradient_drop");
+    node_.world().tracer().emit({node_.world().now(), sim::TraceType::kPacketDrop, node_.id(),
+                                 sink_, msg.uid, 0, 0.0, "no_gradient"});
     return;
   }
   auto body = std::make_shared<NotificationMsg>(msg);

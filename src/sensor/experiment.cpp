@@ -185,6 +185,10 @@ SensorExperimentResult run_sensor_experiment_averaged(SensorExperimentConfig con
     total.bs_rejected += one.bs_rejected;
     total.targets += one.targets;
     total.targets_detected += one.targets_detected;
+    total.miss_prob_runs.add(one.miss_prob);
+    total.false_alarm_runs.add(one.false_alarm_prob);
+    total.active_energy_runs.add(one.active_energy_mj);
+    total.latency_runs.add(one.detection_latency_s);
   }
   const double k = runs > 0 ? static_cast<double>(runs) : 1.0;
   total.miss_prob /= k;

@@ -9,6 +9,7 @@
 #include "core/callbacks.hpp"
 #include "sensor/field.hpp"
 #include "sensor/fusion_rules.hpp"
+#include "sim/metrics.hpp"
 
 namespace icc::sensor {
 
@@ -52,6 +53,13 @@ struct SensorExperimentResult {
   std::uint64_t bs_rejected{0};
   std::uint64_t targets{0};
   std::uint64_t targets_detected{0};
+
+  // Cross-run distributions, filled by run_sensor_experiment_averaged: one
+  // sample per run, so mean/stddev quantify run-to-run variability.
+  sim::SampleSeries miss_prob_runs;
+  sim::SampleSeries false_alarm_runs;
+  sim::SampleSeries active_energy_runs;
+  sim::SampleSeries latency_runs;
 };
 
 SensorExperimentResult run_sensor_experiment(const SensorExperimentConfig& config);

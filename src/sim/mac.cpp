@@ -40,8 +40,10 @@ void Mac::schedule_attempt() {
   const double backoff =
       params_.difs + params_.slot * static_cast<double>(rng_.uniform_int(
                                         0, static_cast<std::uint32_t>(cw_)));
-  attempt_event_ =
-      world_.sched().schedule_in(backoff, [this] { try_transmit(); });
+  world_.tracer().emit({world_.sched().now(), TraceType::kMacBackoff, node_.id(), kNoNode, 0,
+                        0, backoff, nullptr});
+  attempt_event_ = world_.sched().schedule_in(backoff, [this] { try_transmit(); },
+                                              EventTag::kMac);
 }
 
 void Mac::try_transmit() {
@@ -68,6 +70,8 @@ void Mac::transmit_current() {
     if (r.end > now && !r.corrupted) {
       r.corrupted = true;
       world_.medium().count_collision();
+      world_.tracer().emit({now, TraceType::kMacCollision, node_.id(), r.frame.tx,
+                            r.frame.frame_id, 0, 0.0, "self_tx"});
     }
   }
 
@@ -87,8 +91,8 @@ void Mac::transmit_current() {
         params_.preamble + static_cast<double>(params_.ack_bytes) * 8.0 / params_.bitrate;
     const double timeout = params_.sifs + ack_air + 5.0 * params_.slot;
     ack_timeout_event_ =
-        world_.sched().schedule_in(timeout, [this] { on_ack_timeout(); });
-  });
+        world_.sched().schedule_in(timeout, [this] { on_ack_timeout(); }, EventTag::kMac);
+  }, EventTag::kMac);
 }
 
 void Mac::on_ack_timeout() {
@@ -98,6 +102,9 @@ void Mac::on_ack_timeout() {
   if (retries_ > params_.retry_limit) {
     ++unicast_failures_;
     const Frame frame = queue_.front();
+    world_.tracer().emit({world_.sched().now(), TraceType::kMacSendFailed, node_.id(),
+                          frame.rx, frame.packet.uid, frame.packet.size_bytes,
+                          static_cast<double>(retries_), "retry_limit"});
     finish_current(false);
     if (on_send_failed_) on_send_failed_(frame.packet, frame.rx);
     return;
@@ -125,11 +132,17 @@ void Mac::begin_reception(const Frame& frame, double duration) {
       if (!r.corrupted) {
         r.corrupted = true;
         world_.medium().count_collision();
+        world_.tracer().emit({now, TraceType::kMacCollision, node_.id(), r.frame.tx,
+                              r.frame.frame_id, 0, 0.0, "overlap"});
       }
       collided = true;
     }
   }
-  if (collided) world_.medium().count_collision();
+  if (collided) {
+    world_.medium().count_collision();
+    world_.tracer().emit({now, TraceType::kMacCollision, node_.id(), frame.tx,
+                          frame.frame_id, 0, 0.0, "overlap"});
+  }
 
   receptions_.push_back(Reception{frame, now + duration, collided});
   const NodeId tx = frame.tx;
@@ -144,11 +157,15 @@ void Mac::begin_reception(const Frame& frame, double duration) {
     receptions_.erase(it);
     // A transmission we started mid-reception marked it corrupted already.
     if (!rx.corrupted) handle_frame_arrival(rx);
-  });
+  }, EventTag::kMac);
 }
 
 void Mac::handle_frame_arrival(Reception& rx) {
   const Frame& frame = rx.frame;
+  if (!frame.is_ack && (frame.rx == node_.id() || frame.rx == kBroadcast)) {
+    world_.tracer().emit({world_.sched().now(), TraceType::kPacketRx, node_.id(), frame.tx,
+                          frame.packet.uid, frame.packet.size_bytes, 0.0, nullptr});
+  }
   if (frame.is_ack) {
     if (frame.rx == node_.id() && in_progress_ && awaiting_ack_id_ == frame.frame_id) {
       world_.sched().cancel(ack_timeout_event_);

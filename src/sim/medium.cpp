@@ -14,6 +14,9 @@ void Medium::begin_transmission(const Frame& frame, double duration) {
   const Time now = world_.sched().now();
   prune(now);
   ++frames_sent_;
+  world_.tracer().emit({now, TraceType::kPacketTx, frame.tx, frame.rx, frame.packet.uid,
+                        frame.packet.size_bytes, duration,
+                        frame.is_ack ? "ack" : nullptr});
   const Vec2 tx_pos = world_.node(frame.tx).position();
   on_air_.push_back(OnAir{tx_pos, now + duration});
   for (NodeId i = 0; i < world_.num_nodes(); ++i) {

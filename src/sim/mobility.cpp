@@ -25,7 +25,8 @@ void RandomWaypoint::begin_leg(Scheduler& sched) {
   const double dist = distance(from_, to_);
   depart_ = sched.now();
   arrive_ = depart_ + dist / speed;
-  sched.schedule_at(arrive_ + params_.pause, [this, &sched] { begin_leg(sched); });
+  sched.schedule_at(arrive_ + params_.pause, [this, &sched] { begin_leg(sched); },
+                    EventTag::kMobility);
 }
 
 }  // namespace icc::sim

@@ -9,7 +9,9 @@ Node::Node(World& world, NodeId id, std::unique_ptr<Mobility> mobility,
     : world_{world},
       id_{id},
       mobility_{std::move(mobility)},
-      mac_{std::make_unique<Mac>(world, *this, mac_params)} {}
+      mac_{std::make_unique<Mac>(world, *this, mac_params)},
+      outbound_dropped_id_{world.metrics().counter_id("node.outbound_dropped")},
+      inbound_dropped_id_{world.metrics().counter_id("node.inbound_dropped")} {}
 
 Vec2 Node::position() const { return mobility_->position(world_.now()); }
 
@@ -20,7 +22,9 @@ void Node::link_send(Packet packet, NodeId next_hop) {
       case FilterVerdict::kPass:
         break;
       case FilterVerdict::kDrop:
-        world_.stats().add("node.outbound_dropped");
+        world_.metrics().add(outbound_dropped_id_);
+        world_.tracer().emit({world_.now(), TraceType::kPacketDrop, id_, next_hop,
+                              packet.uid, packet.size_bytes, 0.0, "outbound_filter"});
         return;
       case FilterVerdict::kConsumed:
         return;
@@ -52,7 +56,9 @@ void Node::frame_received(const Frame& frame) {
       case FilterVerdict::kPass:
         break;
       case FilterVerdict::kDrop:
-        world_.stats().add("node.inbound_dropped");
+        world_.metrics().add(inbound_dropped_id_);
+        world_.tracer().emit({world_.now(), TraceType::kPacketDrop, id_, frame.tx,
+                              packet.uid, packet.size_bytes, 0.0, "inbound_filter"});
         return;
       case FilterVerdict::kConsumed:
         return;

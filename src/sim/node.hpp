@@ -13,6 +13,7 @@
 
 #include "sim/energy.hpp"
 #include "sim/mac.hpp"
+#include "sim/metrics.hpp"
 #include "sim/mobility.hpp"
 #include "sim/packet.hpp"
 #include "sim/types.hpp"
@@ -86,6 +87,8 @@ class Node {
   EnergyMeter energy_;
   std::unique_ptr<Mac> mac_;
   bool down_{false};
+  MetricId outbound_dropped_id_;
+  MetricId inbound_dropped_id_;
 
   std::array<Handler, kNumPorts> handlers_{};
   std::vector<PromiscuousListener> promiscuous_;

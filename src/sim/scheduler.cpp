@@ -1,16 +1,44 @@
 #include "sim/scheduler.hpp"
 
-#include <stdexcept>
+#include <chrono>
 #include <utility>
 
 namespace icc::sim {
 
-Scheduler::EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
+const char* event_tag_name(EventTag tag) noexcept {
+  switch (tag) {
+    case EventTag::kGeneric: return "generic";
+    case EventTag::kMac: return "mac";
+    case EventTag::kMobility: return "mobility";
+    case EventTag::kTraffic: return "traffic";
+    case EventTag::kRouting: return "routing";
+    case EventTag::kVoting: return "voting";
+    case EventTag::kSensor: return "sensor";
+    case EventTag::kCount: break;
+  }
+  return "?";
+}
+
+Scheduler::EventId Scheduler::schedule_at(Time t, std::function<void()> fn, EventTag tag) {
   if (t < now_) t = now_;  // clamp: "immediately" from a handler's viewpoint
   const EventId id = next_seq_++;
   queue_.push(QueueEntry{t, id, id});
-  pending_.emplace(id, std::move(fn));
+  pending_.emplace(id, PendingEvent{std::move(fn), tag});
   return id;
+}
+
+void Scheduler::execute(PendingEvent&& event) {
+  ++executed_;
+  const auto tag = static_cast<std::size_t>(event.tag);
+  ++profile_.executed[tag];
+  if (profiling_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    event.fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    profile_.wall_seconds[tag] += std::chrono::duration<double>(t1 - t0).count();
+  } else {
+    event.fn();
+  }
 }
 
 void Scheduler::run_until(Time end) {
@@ -20,11 +48,10 @@ void Scheduler::run_until(Time end) {
     queue_.pop();
     auto it = pending_.find(top.id);
     if (it == pending_.end()) continue;  // cancelled
-    std::function<void()> fn = std::move(it->second);
+    PendingEvent event = std::move(it->second);
     pending_.erase(it);
     now_ = top.time;
-    ++executed_;
-    fn();
+    execute(std::move(event));
   }
   if (now_ < end) now_ = end;
 }
@@ -35,11 +62,10 @@ void Scheduler::run_all() {
     queue_.pop();
     auto it = pending_.find(top.id);
     if (it == pending_.end()) continue;
-    std::function<void()> fn = std::move(it->second);
+    PendingEvent event = std::move(it->second);
     pending_.erase(it);
     now_ = top.time;
-    ++executed_;
-    fn();
+    execute(std::move(event));
   }
 }
 

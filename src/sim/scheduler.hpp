@@ -4,8 +4,15 @@
 // FIFO order so runs are deterministic. Events can be cancelled, which is how
 // protocol timers (AODV route expiry, MAC ack timeouts, voting-round
 // deadlines, ...) are retracted.
+//
+// An optional wall-clock profiler (enable_profiling, or ICC_PROFILE=1 via
+// World) measures events/second and the real time spent per event category,
+// so benches can report how fast the simulator itself runs. Profiling reads
+// the steady clock around each event but never touches simulated state, so
+// it cannot perturb determinism.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -16,6 +23,44 @@
 
 namespace icc::sim {
 
+/// Coarse category an event belongs to, for the wall-clock profiler. Call
+/// sites that don't care use the default.
+enum class EventTag : std::uint8_t {
+  kGeneric = 0,
+  kMac,       ///< CSMA backoff/ack timers, frame completions
+  kMobility,  ///< waypoint leg changes
+  kTraffic,   ///< CBR application sends
+  kRouting,   ///< AODV timers and jittered re-floods
+  kVoting,    ///< inner-circle STS/IVS timers
+  kSensor,    ///< sensing epochs and diffusion timers
+  kCount
+};
+
+inline constexpr std::size_t kNumEventTags = static_cast<std::size_t>(EventTag::kCount);
+
+[[nodiscard]] const char* event_tag_name(EventTag tag) noexcept;
+
+/// Wall-clock cost of a run, split by event category.
+struct SchedulerProfile {
+  std::array<std::uint64_t, kNumEventTags> executed{};
+  std::array<double, kNumEventTags> wall_seconds{};
+
+  [[nodiscard]] std::uint64_t executed_total() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto e : executed) n += e;
+    return n;
+  }
+  [[nodiscard]] double wall_total_seconds() const noexcept {
+    double s = 0.0;
+    for (const auto w : wall_seconds) s += w;
+    return s;
+  }
+  [[nodiscard]] double events_per_second() const noexcept {
+    const double wall = wall_total_seconds();
+    return wall > 0.0 ? static_cast<double>(executed_total()) / wall : 0.0;
+  }
+};
+
 class Scheduler {
  public:
   using EventId = std::uint64_t;
@@ -25,11 +70,11 @@ class Scheduler {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (>= now).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_at(Time t, std::function<void()> fn, EventTag tag = EventTag::kGeneric);
 
   /// Schedule `fn` to run `dt` seconds from now.
-  EventId schedule_in(Time dt, std::function<void()> fn) {
-    return schedule_at(now_ + dt, std::move(fn));
+  EventId schedule_in(Time dt, std::function<void()> fn, EventTag tag = EventTag::kGeneric) {
+    return schedule_at(now_ + dt, std::move(fn), tag);
   }
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
@@ -49,7 +94,18 @@ class Scheduler {
   /// Number of events executed so far.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Wall-clock profiling is off by default (one steady_clock read pair per
+  /// event when on). The profile keeps accumulating across runs.
+  void enable_profiling(bool on) noexcept { profiling_ = on; }
+  [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+  [[nodiscard]] const SchedulerProfile& profile() const noexcept { return profile_; }
+
  private:
+  struct PendingEvent {
+    std::function<void()> fn;
+    EventTag tag{EventTag::kGeneric};
+  };
+
   struct QueueEntry {
     Time time;
     std::uint64_t seq;
@@ -60,11 +116,15 @@ class Scheduler {
     }
   };
 
+  void execute(PendingEvent&& event);
+
   Time now_{0.0};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
+  bool profiling_{false};
+  SchedulerProfile profile_{};
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<EventId, std::function<void()>> pending_;
+  std::unordered_map<EventId, PendingEvent> pending_;
 };
 
 }  // namespace icc::sim

@@ -1,50 +1,47 @@
-// Run-level metric collection: a flat registry of named accumulators, plus a
-// small helper for averaging sample streams (latencies, errors).
+// String-keyed facade over the interned-id MetricsRegistry (sim/metrics.hpp).
+//
+// Kept as a migration shim: legacy call sites write `stats().add("key")` and
+// pay one hash per hit; hot paths should intern a MetricId once via
+// `world.metrics()` and update through it instead. Both views share the same
+// underlying registry, so a RunReport sees every metric regardless of which
+// API recorded it.
 #pragma once
 
-#include <cstdint>
 #include <map>
 #include <string>
-#include <vector>
+
+#include "sim/metrics.hpp"
 
 namespace icc::sim {
 
-/// Mean/min/max over a stream of samples.
-struct SampleSeries {
-  void add(double v) {
-    sum += v;
-    if (count == 0 || v < min) min = v;
-    if (count == 0 || v > max) max = v;
-    ++count;
-  }
-  [[nodiscard]] double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
-
-  double sum{0.0};
-  double min{0.0};
-  double max{0.0};
-  std::uint64_t count{0};
-};
-
 class Stats {
  public:
-  void add(const std::string& key, double v = 1.0) { counters_[key] += v; }
+  void add(const std::string& key, double v = 1.0) {
+    registry_.add(registry_.counter_id(key), v);
+  }
   [[nodiscard]] double get(const std::string& key) const {
-    auto it = counters_.find(key);
-    return it == counters_.end() ? 0.0 : it->second;
+    return registry_.counter_value(key);
   }
 
-  void sample(const std::string& key, double v) { series_[key].add(v); }
+  void sample(const std::string& key, double v) {
+    registry_.sample(registry_.series_id(key), v);
+  }
   [[nodiscard]] const SampleSeries& samples(const std::string& key) const {
-    static const SampleSeries kEmpty{};
-    auto it = series_.find(key);
-    return it == series_.end() ? kEmpty : it->second;
+    return registry_.series_by_name(key);
   }
 
-  [[nodiscard]] const std::map<std::string, double>& counters() const { return counters_; }
+  /// Snapshot of all counters, sorted by name (for reports and debugging).
+  [[nodiscard]] std::map<std::string, double> counters() const {
+    std::map<std::string, double> out;
+    registry_.for_each_counter([&out](const std::string& name, double v) { out[name] = v; });
+    return out;
+  }
+
+  MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const noexcept { return registry_; }
 
  private:
-  std::map<std::string, double> counters_;
-  std::map<std::string, SampleSeries> series_;
+  MetricsRegistry registry_;
 };
 
 }  // namespace icc::sim

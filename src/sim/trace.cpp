@@ -1,0 +1,169 @@
+#include "sim/trace.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace icc::sim {
+
+namespace {
+
+struct TypeInfo {
+  const char* name;
+  TraceCategory category;
+  char op;  ///< ns-2-style leading op char: s(end) r(ecv) d(rop) etc.
+};
+
+constexpr std::array<TypeInfo, static_cast<std::size_t>(TraceType::kCount)> kTypes{{
+    {"packet_tx", TraceCategory::kPacket, 's'},
+    {"packet_rx", TraceCategory::kPacket, 'r'},
+    {"packet_drop", TraceCategory::kPacket, 'd'},
+    {"mac_collision", TraceCategory::kMac, 'd'},
+    {"mac_backoff", TraceCategory::kMac, 'b'},
+    {"mac_send_failed", TraceCategory::kMac, 'd'},
+    {"route_rreq_sent", TraceCategory::kRoute, 's'},
+    {"route_rrep_sent", TraceCategory::kRoute, 's'},
+    {"route_discovered", TraceCategory::kRoute, 'e'},
+    {"route_discovery_failed", TraceCategory::kRoute, 'd'},
+    {"vote_round_start", TraceCategory::kVoting, 'e'},
+    {"vote_verdict", TraceCategory::kVoting, 'e'},
+    {"watchdog_accuse", TraceCategory::kWatchdog, 'e'},
+    {"watchdog_blacklist", TraceCategory::kWatchdog, 'e'},
+    {"fusion_decision", TraceCategory::kFusion, 'e'},
+    {"energy_charge", TraceCategory::kEnergy, 'e'},
+}};
+
+constexpr std::array<const char*, static_cast<std::size_t>(TraceCategory::kCount)>
+    kCategoryNames{{"packet", "mac", "route", "voting", "watchdog", "fusion", "energy"}};
+
+/// Fixed-precision time rendering: deterministic for identical doubles and
+/// sortable as text.
+void format_time(char* buf, std::size_t n, Time t) { std::snprintf(buf, n, "%.9f", t); }
+
+/// One process-wide stream per trace file path: the first open truncates,
+/// every later World in the same process appends to the same stream. Keeps a
+/// multi-world driver's trace coherent and byte-reproducible across runs.
+std::ostream& shared_file_stream(const std::string& path) {
+  static std::unordered_map<std::string, std::unique_ptr<std::ofstream>> streams;
+  auto it = streams.find(path);
+  if (it == streams.end()) {
+    it = streams.emplace(path, std::make_unique<std::ofstream>(path, std::ios::trunc)).first;
+    if (!*it->second) {
+      std::fprintf(stderr, "icc: cannot open ICC_TRACE_FILE '%s'; trace discarded\n",
+                   path.c_str());
+    }
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+TraceCategory trace_category(TraceType type) noexcept {
+  return kTypes[static_cast<std::size_t>(type)].category;
+}
+
+const char* trace_type_name(TraceType type) noexcept {
+  return kTypes[static_cast<std::size_t>(type)].name;
+}
+
+const char* trace_category_name(TraceCategory cat) noexcept {
+  return kCategoryNames[static_cast<std::size_t>(cat)];
+}
+
+void LineTraceSink::on_event(const TraceEvent& e) {
+  const TypeInfo& info = kTypes[static_cast<std::size_t>(e.type)];
+  char tbuf[32];
+  format_time(tbuf, sizeof tbuf, e.t);
+  char line[256];
+  int n = std::snprintf(line, sizeof line, "%c %s _%u_ %s %s", info.op, tbuf, e.node,
+                        kCategoryNames[static_cast<std::size_t>(info.category)], info.name);
+  const auto append = [&](const char* fmt, auto... args) {
+    if (n < static_cast<int>(sizeof line)) {
+      n += std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n), fmt, args...);
+    }
+  };
+  if (e.peer != kNoNode) append(" peer=%u", e.peer);
+  if (e.uid != 0) append(" uid=%llu", static_cast<unsigned long long>(e.uid));
+  if (e.size != 0) append(" size=%u", e.size);
+  if (e.value != 0.0) append(" val=%.9g", e.value);
+  if (e.detail != nullptr) append(" %s", e.detail);
+  out_ << line << '\n';
+}
+
+void JsonlTraceSink::on_event(const TraceEvent& e) {
+  const TypeInfo& info = kTypes[static_cast<std::size_t>(e.type)];
+  char tbuf[32];
+  format_time(tbuf, sizeof tbuf, e.t);
+  char line[320];
+  int n = std::snprintf(line, sizeof line, "{\"t\":%s,\"type\":\"%s\",\"cat\":\"%s\",\"node\":%u",
+                        tbuf, info.name,
+                        kCategoryNames[static_cast<std::size_t>(info.category)], e.node);
+  const auto append = [&](const char* fmt, auto... args) {
+    if (n < static_cast<int>(sizeof line)) {
+      n += std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n), fmt, args...);
+    }
+  };
+  if (e.peer != kNoNode) append(",\"peer\":%u", e.peer);
+  if (e.uid != 0) append(",\"uid\":%llu", static_cast<unsigned long long>(e.uid));
+  if (e.size != 0) append(",\"size\":%u", e.size);
+  if (e.value != 0.0) append(",\"value\":%.9g", e.value);
+  if (e.detail != nullptr) append(",\"detail\":\"%s\"", e.detail);
+  append("}");
+  out_ << line << '\n';
+}
+
+std::uint32_t Tracer::parse_mask(const char* spec) {
+  if (spec == nullptr) return 0;
+  std::uint32_t mask = 0;
+  std::string_view rest{spec};
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (token == "all") {
+      return (1u << static_cast<unsigned>(TraceCategory::kCount)) - 1u;
+    }
+    for (std::size_t c = 0; c < kCategoryNames.size(); ++c) {
+      if (token == kCategoryNames[c]) mask |= 1u << c;
+    }
+  }
+  return mask;
+}
+
+void Tracer::configure_from_env() {
+  const std::uint32_t mask = parse_mask(std::getenv("ICC_TRACE"));
+  if (mask == 0) return;
+  mask_ |= mask;
+  const char* path = std::getenv("ICC_TRACE_FILE");
+  if (path != nullptr && *path != '\0') {
+    std::ostream& out = shared_file_stream(path);
+    const std::string_view p{path};
+    if (p.size() >= 6 && p.substr(p.size() - 6) == ".jsonl") {
+      add_owned_sink(std::make_unique<JsonlTraceSink>(out));
+    } else {
+      add_owned_sink(std::make_unique<LineTraceSink>(out));
+    }
+  } else {
+    add_owned_sink(std::make_unique<LineTraceSink>(std::cerr));
+  }
+}
+
+void Tracer::add_sink(TraceSink* sink) { sinks_.push_back(sink); }
+
+void Tracer::add_owned_sink(std::unique_ptr<TraceSink> sink) {
+  sinks_.push_back(sink.get());
+  owned_.push_back(std::move(sink));
+}
+
+void Tracer::dispatch(const TraceEvent& event) {
+  for (TraceSink* sink : sinks_) sink->on_event(event);
+}
+
+}  // namespace icc::sim

@@ -1,0 +1,164 @@
+// Structured event tracing: the simulator's equivalent of an ns-2 trace file.
+//
+// Every layer emits typed TraceEvents (packet tx/rx/drop with reason, MAC
+// collision/backoff, route discovery, voting rounds, watchdog accusations,
+// fusion decisions, energy charges) into the World's Tracer. Subscribers
+// (sinks) render them — an ns-2-style line format, JSONL, or an in-memory
+// collector for tests.
+//
+// Hot-path contract: with tracing disabled (no `ICC_TRACE`, no sinks) an
+// emission is a single mask test on an integer — no string formatting, no
+// allocation, no virtual dispatch. Events carry only POD fields plus an
+// optional `detail` that must point at a string literal, so constructing one
+// never allocates either.
+//
+// Environment knobs (read by World at construction):
+//   ICC_TRACE       comma-separated categories to enable:
+//                   packet,mac,route,voting,watchdog,fusion,energy  or  all
+//   ICC_TRACE_FILE  write the trace there instead of stderr; a path ending
+//                   in .jsonl selects the JSONL sink, anything else the
+//                   ns-2-style line sink. Worlds created by the same process
+//                   append to one shared stream (truncated once at first
+//                   open), so multi-world drivers produce a single coherent,
+//                   reproducible trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kPacket,    ///< link/network packet lifecycle
+  kMac,       ///< CSMA internals: collisions, backoff, retry exhaustion
+  kRoute,     ///< AODV discovery traffic and outcomes
+  kVoting,    ///< inner-circle voting rounds
+  kWatchdog,  ///< overhearing-based accusations
+  kFusion,    ///< sensor-fusion / base-station decisions
+  kEnergy,    ///< non-radio energy charges (crypto ops)
+  kCount
+};
+
+enum class TraceType : std::uint8_t {
+  kPacketTx,
+  kPacketRx,
+  kPacketDrop,
+  kMacCollision,
+  kMacBackoff,
+  kMacSendFailed,
+  kRouteRreqSent,
+  kRouteRrepSent,
+  kRouteDiscovered,
+  kRouteDiscoveryFailed,
+  kVoteRoundStart,
+  kVoteVerdict,
+  kWatchdogAccuse,
+  kWatchdogBlacklist,
+  kFusionDecision,
+  kEnergyCharge,
+  kCount
+};
+
+[[nodiscard]] TraceCategory trace_category(TraceType type) noexcept;
+[[nodiscard]] const char* trace_type_name(TraceType type) noexcept;
+[[nodiscard]] const char* trace_category_name(TraceCategory cat) noexcept;
+
+/// One simulator event. POD; `detail` must be a string literal (or nullptr).
+struct TraceEvent {
+  Time t{0.0};
+  TraceType type{TraceType::kPacketTx};
+  NodeId node{kNoNode};        ///< the node the event happened at
+  NodeId peer{kNoNode};        ///< counterpart (receiver, suspect, center...)
+  std::uint64_t uid{0};        ///< packet uid / frame id / round id
+  std::uint32_t size{0};       ///< payload bytes where meaningful
+  double value{0.0};           ///< type-specific scalar (backoff s, level, J)
+  const char* detail{nullptr}; ///< reason / verdict, static string only
+};
+
+/// Subscriber interface. Sinks registered on a Tracer see every event that
+/// passes the category mask.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// ns-2-flavoured single-line text format:
+///   `s 12.000345678 _3_ packet packet_tx peer=7 uid=42 size=512`
+class LineTraceSink final : public TraceSink {
+ public:
+  explicit LineTraceSink(std::ostream& out) : out_{out} {}
+  void on_event(const TraceEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// One JSON object per line; field order and float formatting are fixed so
+/// equal-seed runs yield byte-identical traces.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_{out} {}
+  void on_event(const TraceEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Test helper: buffers events in memory.
+class CollectingTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+class Tracer {
+ public:
+  /// Reads ICC_TRACE / ICC_TRACE_FILE and installs the default sink. Called
+  /// by the World constructor; harmless to call on an already-set-up tracer.
+  void configure_from_env();
+
+  /// `spec` is a comma-separated category list ("packet,voting") or "all";
+  /// unknown names are ignored, empty spec yields 0.
+  static std::uint32_t parse_mask(const char* spec);
+
+  void set_mask(std::uint32_t mask) noexcept { mask_ = mask; }
+  [[nodiscard]] std::uint32_t mask() const noexcept { return mask_; }
+
+  /// The sink stays owned by the caller and must outlive the tracer.
+  void add_sink(TraceSink* sink);
+  void add_owned_sink(std::unique_ptr<TraceSink> sink);
+
+  /// Hot-path guard: one AND plus a compare when tracing is off.
+  [[nodiscard]] bool enabled(TraceCategory cat) const noexcept {
+    return (mask_ & (1u << static_cast<unsigned>(cat))) != 0 && !sinks_.empty();
+  }
+  [[nodiscard]] bool enabled(TraceType type) const noexcept {
+    return enabled(trace_category(type));
+  }
+
+  /// Emit if the event's category is enabled. Callers on per-packet paths
+  /// should still guard with enabled() when assembling the event costs
+  /// anything beyond writing POD fields.
+  void emit(const TraceEvent& event) {
+    if (!enabled(trace_category(event.type))) return;
+    dispatch(event);
+  }
+
+ private:
+  void dispatch(const TraceEvent& event);
+
+  std::uint32_t mask_{0};
+  std::vector<TraceSink*> sinks_;
+  std::vector<std::unique_ptr<TraceSink>> owned_;
+};
+
+}  // namespace icc::sim

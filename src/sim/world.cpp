@@ -1,11 +1,20 @@
 #include "sim/world.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace icc::sim {
 
 World::World(WorldConfig config)
     : config_{config},
       medium_{*this, config.tx_range, config.tx_range * config.cs_range_factor},
-      rng_{config.seed} {}
+      rng_{config.seed} {
+  tracer_.configure_from_env();
+  const char* profile = std::getenv("ICC_PROFILE");
+  if (profile != nullptr && *profile != '\0' && std::strcmp(profile, "0") != 0) {
+    sched_.enable_profiling(true);
+  }
+}
 
 Node& World::add_node(std::unique_ptr<Mobility> mobility) {
   const NodeId id = static_cast<NodeId>(nodes_.size());

@@ -14,6 +14,7 @@
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace icc::sim {
@@ -48,6 +49,12 @@ class World {
   Medium& medium() noexcept { return medium_; }
   Stats& stats() noexcept { return stats_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Interned-id registry backing stats(); hot paths update through this.
+  MetricsRegistry& metrics() noexcept { return stats_.registry(); }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return stats_.registry(); }
+  /// Structured event tracing (configured from ICC_TRACE at construction).
+  Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
   [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
 
   [[nodiscard]] Time now() const noexcept { return sched_.now(); }
@@ -73,6 +80,7 @@ class World {
   Medium medium_;
   Rng rng_;
   Stats stats_;
+  Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint64_t next_uid_{1};
 };

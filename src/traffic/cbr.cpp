@@ -5,8 +5,12 @@
 namespace icc::traffic {
 
 CbrConnection::CbrConnection(aodv::Aodv& source, sim::NodeId dest, Params params)
-    : source_{source}, dest_{dest}, params_{params} {
-  source_.node().world().sched().schedule_at(params_.start, [this] { send_next(); });
+    : source_{source},
+      dest_{dest},
+      params_{params},
+      m_sent_{source.node().world().metrics().counter_id("cbr.sent")} {
+  source_.node().world().sched().schedule_at(params_.start, [this] { send_next(); },
+                                             sim::EventTag::kTraffic);
 }
 
 void CbrConnection::send_next() {
@@ -18,17 +22,20 @@ void CbrConnection::send_next() {
   data.app_bytes = params_.packet_bytes;
   data.sent_at = world.now();
   ++sent_;
-  world.stats().add("cbr.sent");
+  world.metrics().add(m_sent_);
   source_.send_data(dest_, data);
 
-  world.sched().schedule_in(1.0 / params_.rate_pps, [this] { send_next(); });
+  world.sched().schedule_in(1.0 / params_.rate_pps, [this] { send_next(); },
+                            sim::EventTag::kTraffic);
 }
 
 void CbrConnection::attach_sink(aodv::Aodv& aodv) {
   sim::World& world = aodv.node().world();
-  aodv.set_deliver_handler([&world](const aodv::DataMsg& data, sim::NodeId) {
-    world.stats().add("cbr.received");
-    world.stats().sample("cbr.latency", world.now() - data.sent_at);
+  const sim::MetricId received = world.metrics().counter_id("cbr.received");
+  const sim::MetricId latency = world.metrics().series_id("cbr.latency");
+  aodv.set_deliver_handler([&world, received, latency](const aodv::DataMsg& data, sim::NodeId) {
+    world.metrics().add(received);
+    world.metrics().sample(latency, world.now() - data.sent_at);
   });
 }
 

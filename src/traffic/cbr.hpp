@@ -37,6 +37,7 @@ class CbrConnection {
   sim::NodeId dest_;
   Params params_;
   std::uint64_t sent_{0};
+  sim::MetricId m_sent_;
 };
 
 }  // namespace icc::traffic
