@@ -3,36 +3,25 @@
 // ("No IC") and the inner-circle framework at dependability levels L=1, 2.
 //
 // Environment knobs: ICC_RUNS (default 5, paper: 50), ICC_SIM_TIME (default
-// 300 s, the paper's value), ICC_JSON (path for a structured run report;
-// ".csv" suffix selects CSV, anything else JSON).
+// 300 s, the paper's value), ICC_THREADS (parallel runs; default 1),
+// ICC_CAMPAIGN_JOURNAL (checkpoint/resume path), ICC_JSON (path for a
+// structured run report; ".csv" suffix selects CSV, anything else JSON).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "aodv/blackhole_experiment.hpp"
+#include "exp/env.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-
-namespace {
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
-}
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : fallback;
-}
-
-}  // namespace
 
 int main() {
   using icc::aodv::BlackholeExperimentConfig;
   using icc::aodv::BlackholeExperimentResult;
 
-  const int runs = env_int("ICC_RUNS", 5);
-  const double sim_time = env_double("ICC_SIM_TIME", 300.0);
+  const int runs = icc::exp::env_int("ICC_RUNS", 5);
+  const double sim_time = icc::exp::env_double("ICC_SIM_TIME", 300.0);
   const std::vector<int> attacker_counts = {0, 1, 2, 4, 6, 8, 10};
 
   struct Series {
@@ -49,20 +38,50 @@ int main() {
   std::printf("50 nodes, 1000x1000 m^2, random waypoint 10 m/s, 10 CBR connections\n");
   std::printf("(%d runs per point, %.0f s simulated; paper uses 50 runs)\n\n", runs, sim_time);
 
-  // Collect both sub-figures in one sweep: each (series, attackers) cell is
-  // one simulation campaign.
-  std::vector<std::vector<BlackholeExperimentResult>> grid(std::size(series));
-  for (std::size_t s = 0; s < std::size(series); ++s) {
-    for (const int attackers : attacker_counts) {
-      BlackholeExperimentConfig config;
-      config.num_malicious = attackers;
-      config.inner_circle = series[s].inner_circle;
-      config.level = series[s].level;
-      config.sim_time = sim_time;
-      config.seed = 1000;  // common random numbers across the three series
-      grid[s].push_back(icc::aodv::run_blackhole_experiment_averaged(config, runs));
+  // Both sub-figures in one campaign: each (series, attackers) cell runs
+  // `runs` independent worlds; the runner parallelizes over (cell, run).
+  icc::exp::Campaign campaign;
+  campaign.name = "fig7_blackhole";
+  campaign.base_seed = 1000;
+  campaign.runs = runs;
+  campaign.common_random_numbers = true;  // same worlds across the three series
+  {
+    std::vector<std::string> labels;
+    std::vector<std::string> keys;
+    for (const Series& s : series) {
+      labels.emplace_back(s.name);
+      keys.emplace_back(s.key);
     }
+    campaign.grid.axis("series", labels, keys);
+    labels.clear();
+    keys.clear();
+    for (const int m : attacker_counts) {
+      labels.push_back(std::to_string(m));
+      keys.push_back("m" + std::to_string(m));
+    }
+    campaign.grid.axis("malicious", labels, keys);
   }
+  campaign.job = [&](const icc::exp::JobContext& ctx) {
+    const Series& s = series[campaign.grid.level(ctx.cell, 0)];
+    BlackholeExperimentConfig config;
+    config.num_malicious = attacker_counts[campaign.grid.level(ctx.cell, 1)];
+    config.inner_circle = s.inner_circle;
+    config.level = s.level;
+    config.sim_time = sim_time;
+    config.seed = ctx.seed;
+    const BlackholeExperimentResult r = icc::aodv::run_blackhole_experiment(config);
+    icc::exp::JobOutputs out;
+    out["throughput"] = {r.throughput};
+    out["energy_j"] = {r.mean_energy_j};
+    out["latency_s"] = {r.mean_latency_s};
+    out["node_energy_j"] = r.node_energy_j;
+    return out;
+  };
+
+  const icc::exp::CampaignResult result = icc::exp::run_campaign(campaign);
+  const auto cell = [&](std::size_t s, std::size_t a) {
+    return campaign.grid.cell_index({s, a});
+  };
 
   std::printf("Fig 7(a): network throughput [%% received/sent, mean±stddev over runs]\n");
   std::printf("%-10s", "#malicious");
@@ -71,8 +90,8 @@ int main() {
   for (std::size_t a = 0; a < attacker_counts.size(); ++a) {
     std::printf("%-10d", attacker_counts[a]);
     for (std::size_t s = 0; s < std::size(series); ++s) {
-      std::printf("  %8.1f%%±%4.1f", 100.0 * grid[s][a].throughput,
-                  100.0 * grid[s][a].throughput_runs.stddev());
+      const icc::sim::SampleSeries& tp = result.series(cell(s, a), "throughput");
+      std::printf("  %8.1f%%±%4.1f", 100.0 * tp.mean(), 100.0 * tp.stddev());
     }
     std::printf("\n");
   }
@@ -84,8 +103,8 @@ int main() {
   for (std::size_t a = 0; a < attacker_counts.size(); ++a) {
     std::printf("%-10d", attacker_counts[a]);
     for (std::size_t s = 0; s < std::size(series); ++s) {
-      std::printf("  %9.2f±%5.2f", grid[s][a].mean_energy_j,
-                  grid[s][a].energy_runs.stddev());
+      const icc::sim::SampleSeries& e = result.series(cell(s, a), "energy_j");
+      std::printf("  %9.2f±%5.2f", e.mean(), e.stddev());
     }
     std::printf("\n");
   }
@@ -98,18 +117,8 @@ int main() {
     report.set_meta("experiment", "fig7_blackhole");
     report.set_meta("runs", static_cast<std::uint64_t>(runs));
     report.set_meta("sim_time_s", sim_time);
-    report.set_meta("seed", static_cast<std::uint64_t>(1000));
-    for (std::size_t s = 0; s < std::size(series); ++s) {
-      for (std::size_t a = 0; a < attacker_counts.size(); ++a) {
-        const BlackholeExperimentResult& r = grid[s][a];
-        const std::string cell =
-            std::string(series[s].key) + ".m" + std::to_string(attacker_counts[a]);
-        report.add_series("throughput." + cell, r.throughput_runs);
-        report.add_series("energy_j." + cell, r.energy_runs);
-        report.add_series("node_energy_j." + cell, r.node_energy_runs);
-        report.add_series("latency_s." + cell, r.latency_runs);
-      }
-    }
+    report.set_meta("seed", campaign.base_seed);
+    result.add_to_report(report);
     if (report.write_file(json_path)) {
       std::printf("\nreport written to %s\n", json_path);
     } else {
@@ -118,12 +127,14 @@ int main() {
   }
 
   // Headline numbers the paper calls out in §5.1.
-  const double clean = grid[0][0].throughput;
-  const double one_attacker = grid[0][1].throughput;
-  const double ten_attackers = grid[0].back().throughput;
-  const double ic_clean = grid[1][0].throughput;
+  const double clean = result.mean(cell(0, 0), "throughput");
+  const double one_attacker = result.mean(cell(0, 1), "throughput");
+  const double ten_attackers = result.mean(cell(0, attacker_counts.size() - 1), "throughput");
+  const double ic_clean = result.mean(cell(1, 0), "throughput");
   double ic_worst = 1.0;
-  for (const auto& r : grid[1]) ic_worst = std::min(ic_worst, r.throughput);
+  for (std::size_t a = 0; a < attacker_counts.size(); ++a) {
+    ic_worst = std::min(ic_worst, result.mean(cell(1, a), "throughput"));
+  }
   std::printf("\nheadline: clean %.1f%% | 1 attacker %.1f%% (%.0fx degradation) | "
               "10 attackers %.1f%% | IC overhead %.1f%% | IC worst case %.1f%%\n",
               100 * clean, 100 * one_attacker, clean / std::max(one_attacker, 1e-9),

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <random>
 
+#include "exp/env.hpp"
 #include "fusion/ft_cluster.hpp"
 #include "fusion/ft_mean.hpp"
 
@@ -24,11 +25,6 @@ namespace {
 using icc::fusion::ft_cluster;
 using icc::fusion::ft_cluster_worst_case_error;
 using icc::fusion::ft_mean;
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
-}
 
 double plain_mean(const std::vector<double>& v) {
   double s = 0.0;
@@ -39,7 +35,7 @@ double plain_mean(const std::vector<double>& v) {
 }  // namespace
 
 int main() {
-  const int trials = env_int("ICC_TRIALS", 2000);
+  const int trials = icc::exp::env_int("ICC_TRIALS", 2000);
   const int n = 11;           // an inner circle of 10-15 members [22]
   const double sigma = 1.0;   // observation noise
   const double eta = 4.0 * sigma;

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/framework.hpp"
+#include "exp/env.hpp"
 #include "crypto/model_scheme.hpp"
 #include "crypto/pki.hpp"
 #include "sim/world.hpp"
@@ -18,11 +19,6 @@
 namespace {
 
 using namespace icc;
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
-}
 
 struct RoundCost {
   double msgs_per_round{0.0};
@@ -105,7 +101,7 @@ RoundCost measure(int circle_size, int level, core::VotingMode mode,
 }  // namespace
 
 int main() {
-  const int rounds = env_int("ICC_ROUNDS", 40);
+  const int rounds = icc::exp::env_int("ICC_ROUNDS", 40);
   const int circle_size = 12;
 
   std::printf("IVS round cost, dense circle of %d nodes (%d rounds per cell)\n\n",

@@ -1,0 +1,117 @@
+#include "exp/campaign.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "sim/report.hpp"
+
+namespace icc::exp {
+
+std::string report_key(const std::string& label) {
+  std::string out;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+ParamGrid& ParamGrid::axis(std::string name, std::vector<std::string> labels,
+                           std::vector<std::string> keys) {
+  if (keys.empty()) {
+    keys.reserve(labels.size());
+    for (const std::string& label : labels) keys.push_back(report_key(label));
+  }
+  if (keys.size() != labels.size()) {
+    throw std::invalid_argument("ParamGrid axis '" + name + "': keys/labels size mismatch");
+  }
+  axes_.push_back(Axis{std::move(name), std::move(labels), std::move(keys)});
+  return *this;
+}
+
+std::size_t ParamGrid::num_cells() const {
+  if (axes_.empty()) return 0;
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.labels.size();
+  return n;
+}
+
+std::size_t ParamGrid::level(std::size_t cell, std::size_t axis) const {
+  // Row-major, first axis slowest: divide away every axis after `axis`.
+  std::size_t stride = 1;
+  for (std::size_t i = axes_.size(); i-- > axis + 1;) stride *= axes_[i].labels.size();
+  return (cell / stride) % axes_[axis].labels.size();
+}
+
+std::size_t ParamGrid::cell_index(const std::vector<std::size_t>& levels) const {
+  if (levels.size() != axes_.size()) {
+    throw std::invalid_argument("ParamGrid::cell_index: wrong number of levels");
+  }
+  std::size_t cell = 0;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    cell = cell * axes_[i].labels.size() + levels[i];
+  }
+  return cell;
+}
+
+std::string ParamGrid::key(std::size_t cell) const {
+  std::string out;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += axes_[i].keys[level(cell, i)];
+  }
+  return out;
+}
+
+std::string ParamGrid::label(std::size_t cell) const {
+  std::string out;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += axes_[i].labels[level(cell, i)];
+  }
+  return out;
+}
+
+const sim::SampleSeries& CampaignResult::series(std::size_t cell,
+                                                const std::string& metric) const {
+  static const sim::SampleSeries kEmpty{};
+  if (cell >= cells_.size()) return kEmpty;
+  const auto it = cells_[cell].find(metric);
+  return it != cells_[cell].end() ? it->second : kEmpty;
+}
+
+void CampaignResult::add_to_report(sim::RunReport& report) const {
+  for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
+    for (const auto& [metric, series] : cells_[cell]) {
+      report.add_series(metric + "." + cell_keys_[cell], series);
+    }
+  }
+}
+
+CampaignResult aggregate_outputs(const Campaign& campaign,
+                                 const std::vector<JobOutputs>& outputs) {
+  const std::size_t num_cells = campaign.grid.num_cells();
+  CampaignResult result;
+  result.jobs_total = campaign.num_jobs();
+  result.cells_.resize(num_cells);
+  result.cell_keys_.reserve(num_cells);
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    result.cell_keys_.push_back(campaign.grid.key(cell));
+    for (int run = 0; run < campaign.runs; ++run) {
+      const std::size_t id = cell * static_cast<std::size_t>(campaign.runs) +
+                             static_cast<std::size_t>(run);
+      if (id >= outputs.size()) continue;
+      for (const auto& [metric, samples] : outputs[id]) {
+        sim::SampleSeries& series = result.cells_[cell][metric];
+        for (const double v : samples) series.add(v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace icc::exp

@@ -1,0 +1,145 @@
+// Declarative experiment campaigns: a parameter grid (axes x levels), a
+// number of independent runs per cell, and a per-job function that builds
+// its own world and returns scalar outputs. The runner (exp/runner.hpp)
+// executes the flattened (cell, run) job list on a thread pool; the
+// aggregator folds job outputs into sim::SampleSeries per cell in
+// deterministic (cell, run) order, so reports are byte-identical regardless
+// of thread count or schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/seed.hpp"
+#include "sim/metrics.hpp"
+
+namespace icc::sim {
+class RunReport;
+}
+
+namespace icc::exp {
+
+/// Report-friendly identifier derived from a human label: lowercase
+/// alphanumerics with every other character run collapsed to a single '_',
+/// and no leading or trailing '_' (so "(no target)" -> "no_target", never
+/// "_no_target_").
+std::string report_key(const std::string& label);
+
+/// A full-factorial parameter grid. Cells are indexed row-major with the
+/// first axis slowest, matching the nested loops the benches used to write:
+/// grid.axis(A).axis(B) flattens cell = a * |B| + b.
+class ParamGrid {
+ public:
+  struct Axis {
+    std::string name;
+    std::vector<std::string> labels;
+    std::vector<std::string> keys;  ///< report identifiers, parallel to labels
+  };
+
+  /// Append an axis. `keys` defaults to report_key of each label; when
+  /// given, it must be parallel to `labels`.
+  ParamGrid& axis(std::string name, std::vector<std::string> labels,
+                  std::vector<std::string> keys = {});
+
+  [[nodiscard]] std::size_t num_axes() const { return axes_.size(); }
+  [[nodiscard]] const Axis& axis_at(std::size_t i) const { return axes_[i]; }
+
+  /// Product of the axis sizes; 0 for an empty grid.
+  [[nodiscard]] std::size_t num_cells() const;
+
+  /// Index of `cell` along axis `axis` (inverse of cell_index).
+  [[nodiscard]] std::size_t level(std::size_t cell, std::size_t axis) const;
+
+  /// Flattened cell index of the given per-axis level indices.
+  [[nodiscard]] std::size_t cell_index(const std::vector<std::size_t>& levels) const;
+
+  /// Report key of a cell: per-axis keys joined with '.', first axis first
+  /// (e.g. "ic_l1.m4").
+  [[nodiscard]] std::string key(std::size_t cell) const;
+
+  /// Human label of a cell: per-axis labels joined with ", ".
+  [[nodiscard]] std::string label(std::size_t cell) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+/// Everything a job needs to run: its grid cell, run index, and the
+/// deterministically derived world seed.
+struct JobContext {
+  std::size_t cell{0};
+  int run{0};
+  std::uint64_t seed{0};
+};
+
+/// A job's outputs: metric name -> samples. Most metrics are single-sample
+/// scalars; multi-sample entries (e.g. one energy reading per node) feed
+/// every sample into the cell's series. The key set must be the same for
+/// every run of a cell, and std::map keeps aggregation order deterministic.
+using JobOutputs = std::map<std::string, std::vector<double>>;
+
+/// A declarative campaign: name (identifies journal entries), grid, runs
+/// per cell, base seed, and the job function. Jobs must be share-nothing —
+/// each constructs its own World from ctx.seed — because the runner invokes
+/// them concurrently.
+struct Campaign {
+  std::string name;
+  ParamGrid grid;
+  int runs{1};
+  std::uint64_t base_seed{1};
+  /// When set, the cell index is dropped from seed derivation, so run r
+  /// simulates the same world in every cell (common random numbers: cell
+  /// differences are pure treatment effects). The paper's benches all use
+  /// this, matching their original seeding discipline.
+  bool common_random_numbers{false};
+  std::function<JobOutputs(const JobContext&)> job;
+
+  [[nodiscard]] std::size_t num_jobs() const {
+    return grid.num_cells() * static_cast<std::size_t>(runs > 0 ? runs : 0);
+  }
+
+  [[nodiscard]] std::uint64_t job_seed(std::size_t cell, int run) const {
+    return derive_seed(base_seed, common_random_numbers ? 0 : cell,
+                       static_cast<std::uint64_t>(run));
+  }
+};
+
+/// Aggregated campaign outputs: one SampleSeries per (cell, metric), built
+/// by folding job outputs in (cell, run) order.
+class CampaignResult {
+ public:
+  /// Series for a cell/metric; an empty static series when absent.
+  [[nodiscard]] const sim::SampleSeries& series(std::size_t cell,
+                                               const std::string& metric) const;
+  /// Cross-run mean of a metric (0.0 when absent, like SampleSeries::mean).
+  [[nodiscard]] double mean(std::size_t cell, const std::string& metric) const {
+    return series(cell, metric).mean();
+  }
+
+  /// Add every per-cell series to `report` as "<metric>.<cell key>".
+  void add_to_report(sim::RunReport& report) const;
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+
+  std::size_t jobs_total{0};
+  std::size_t jobs_executed{0};  ///< computed this invocation
+  std::size_t jobs_resumed{0};   ///< restored from the checkpoint journal
+  double elapsed_s{0.0};
+  double jobs_per_s{0.0};  ///< executed jobs per wall-clock second
+
+ private:
+  friend CampaignResult aggregate_outputs(const Campaign&, const std::vector<JobOutputs>&);
+  std::vector<std::map<std::string, sim::SampleSeries>> cells_;
+  std::vector<std::string> cell_keys_;
+};
+
+/// Fold the flattened job outputs (indexed cell * runs + run) into per-cell
+/// series. Deterministic: iterates cells, then runs, then metrics in map
+/// order. Exposed for the runner and for tests.
+CampaignResult aggregate_outputs(const Campaign& campaign,
+                                 const std::vector<JobOutputs>& outputs);
+
+}  // namespace icc::exp

@@ -1,0 +1,29 @@
+// Shared environment-variable knobs for benches and the campaign runner.
+//
+// Every bench used to carry its own copy of these helpers; they live here
+// once so the knob set (ICC_RUNS, ICC_SIM_TIME, ICC_THREADS, ICC_JSON,
+// ICC_CAMPAIGN_JOURNAL, ...) is parsed uniformly.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace icc::exp {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+/// Returns the variable's value, or `fallback` when unset or empty.
+inline std::string env_string(const char* name, const char* fallback = "") {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string{v} : std::string{fallback};
+}
+
+}  // namespace icc::exp

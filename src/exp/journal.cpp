@@ -1,0 +1,136 @@
+#include "exp/journal.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace icc::exp {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Cursor over one journal line. Every eat_* advances on success only.
+struct Cursor {
+  const std::string& s;
+  std::size_t pos{0};
+
+  bool eat(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (s.compare(pos, n, literal) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  /// JSON string with \" and \\ escapes, starting at an opening quote.
+  bool eat_string(std::string& out) {
+    if (pos >= s.size() || s[pos] != '"') return false;
+    out.clear();
+    for (std::size_t i = pos + 1; i < s.size(); ++i) {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        out.push_back(s[++i]);
+      } else if (s[i] == '"') {
+        pos = i + 1;
+        return true;
+      } else {
+        out.push_back(s[i]);
+      }
+    }
+    return false;
+  }
+
+  bool eat_u64(std::uint64_t& out) {
+    if (pos >= s.size() || std::isdigit(static_cast<unsigned char>(s[pos])) == 0) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    out = std::strtoull(s.c_str() + pos, &end, 10);
+    if (errno != 0 || end == s.c_str() + pos) return false;
+    pos = static_cast<std::size_t>(end - s.c_str());
+    return true;
+  }
+
+  bool eat_double(double& out) {
+    errno = 0;
+    char* end = nullptr;
+    out = std::strtod(s.c_str() + pos, &end);
+    if (errno != 0 || end == s.c_str() + pos) return false;
+    pos = static_cast<std::size_t>(end - s.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string format_journal_line(const JournalEntry& entry) {
+  std::string out = "{\"campaign\":\"";
+  append_escaped(out, entry.campaign);
+  out += "\",\"base_seed\":" + std::to_string(entry.base_seed);
+  out += ",\"cell\":" + std::to_string(entry.cell);
+  out += ",\"run\":" + std::to_string(entry.run);
+  out += ",\"outputs\":{";
+  bool first_metric = true;
+  for (const auto& [metric, samples] : entry.outputs) {
+    if (!first_metric) out.push_back(',');
+    first_metric = false;
+    out.push_back('"');
+    append_escaped(out, metric);
+    out += "\":[";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      append_double(out, samples[i]);
+    }
+    out.push_back(']');
+  }
+  out += "}}";
+  return out;
+}
+
+std::optional<JournalEntry> parse_journal_line(const std::string& line) {
+  Cursor c{line};
+  JournalEntry entry;
+  std::uint64_t cell = 0;
+  std::uint64_t run = 0;
+  if (!c.eat("{\"campaign\":") || !c.eat_string(entry.campaign)) return std::nullopt;
+  if (!c.eat(",\"base_seed\":") || !c.eat_u64(entry.base_seed)) return std::nullopt;
+  if (!c.eat(",\"cell\":") || !c.eat_u64(cell)) return std::nullopt;
+  if (!c.eat(",\"run\":") || !c.eat_u64(run)) return std::nullopt;
+  if (!c.eat(",\"outputs\":{")) return std::nullopt;
+  entry.cell = static_cast<std::size_t>(cell);
+  entry.run = static_cast<int>(run);
+  if (!c.eat("}")) {  // non-empty outputs object
+    while (true) {
+      std::string metric;
+      if (!c.eat_string(metric) || !c.eat(":[")) return std::nullopt;
+      std::vector<double>& samples = entry.outputs[metric];
+      if (!c.eat("]")) {  // non-empty sample array
+        while (true) {
+          double v = 0.0;
+          if (!c.eat_double(v)) return std::nullopt;
+          samples.push_back(v);
+          if (c.eat("]")) break;
+          if (!c.eat(",")) return std::nullopt;
+        }
+      }
+      if (c.eat("}")) break;
+      if (!c.eat(",")) return std::nullopt;
+    }
+  }
+  if (!c.eat("}") || c.pos != line.size()) return std::nullopt;
+  return entry;
+}
+
+}  // namespace icc::exp

@@ -1,0 +1,37 @@
+// JSONL checkpoint journal for campaign runs.
+//
+// Each completed job appends one line:
+//   {"campaign":"fig7_blackhole","base_seed":1000,"cell":3,"run":2,
+//    "outputs":{"energy_j":[20.93...],"throughput":[0.984...]}}
+// On startup the runner replays the journal and skips every job whose
+// (campaign, base_seed, cell, run) matches, so an interrupted campaign
+// resumes without recomputing. Doubles are written with %.17g, which
+// round-trips IEEE-754 exactly — a resumed campaign aggregates to the same
+// bits as an uninterrupted one. Lines that fail to parse (e.g. a partial
+// write from a killed process) or that belong to a different campaign are
+// ignored; the job is simply recomputed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "exp/campaign.hpp"
+
+namespace icc::exp {
+
+struct JournalEntry {
+  std::string campaign;
+  std::uint64_t base_seed{0};
+  std::size_t cell{0};
+  int run{0};
+  JobOutputs outputs;
+};
+
+/// One line of JSONL, without the trailing newline.
+std::string format_journal_line(const JournalEntry& entry);
+
+/// Strict parser for lines this module wrote; nullopt on any malformation.
+std::optional<JournalEntry> parse_journal_line(const std::string& line);
+
+}  // namespace icc::exp

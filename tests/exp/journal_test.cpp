@@ -1,0 +1,184 @@
+// Checkpoint journal: line round-tripping and campaign resume semantics. A
+// campaign killed after K of N jobs (simulated by truncating the journal)
+// must resume without recomputing the K jobs and aggregate to exactly the
+// report of an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/journal.hpp"
+#include "exp/runner.hpp"
+#include "sim/report.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using icc::exp::Campaign;
+using icc::exp::JobContext;
+using icc::exp::JobOutputs;
+using icc::exp::JournalEntry;
+using icc::exp::format_journal_line;
+using icc::exp::parse_journal_line;
+
+TEST(Journal, LineRoundTripsExactly) {
+  JournalEntry entry;
+  entry.campaign = "fig7 \"quoted\\name\"";
+  entry.base_seed = 0xFFFFFFFFFFFFFFFFull;
+  entry.cell = 12;
+  entry.run = 3;
+  entry.outputs["throughput"] = {1.0 / 3.0, 0.1, -1e-300, 1.7976931348623157e308};
+  entry.outputs["empty"] = {};
+  entry.outputs["count"] = {42.0};
+  const std::string line = format_journal_line(entry);
+  const auto parsed = parse_journal_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->campaign, entry.campaign);
+  EXPECT_EQ(parsed->base_seed, entry.base_seed);
+  EXPECT_EQ(parsed->cell, entry.cell);
+  EXPECT_EQ(parsed->run, entry.run);
+  ASSERT_EQ(parsed->outputs.size(), entry.outputs.size());
+  for (const auto& [metric, samples] : entry.outputs) {
+    ASSERT_TRUE(parsed->outputs.count(metric)) << metric;
+    const std::vector<double>& got = parsed->outputs.at(metric);
+    ASSERT_EQ(got.size(), samples.size()) << metric;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      // %.17g round-trips IEEE-754 doubles bit-exactly.
+      EXPECT_EQ(got[i], samples[i]) << metric << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Journal, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_journal_line("").has_value());
+  EXPECT_FALSE(parse_journal_line("not json").has_value());
+  EXPECT_FALSE(parse_journal_line("{\"campaign\":\"x\"").has_value());
+  // Torn tail: a complete prefix with a truncated outputs object.
+  EXPECT_FALSE(parse_journal_line(
+                   R"({"campaign":"x","base_seed":1,"cell":0,"run":0,"outputs":{"a":[1.0)")
+                   .has_value());
+  // Trailing garbage after a well-formed entry.
+  EXPECT_FALSE(parse_journal_line(
+                   R"({"campaign":"x","base_seed":1,"cell":0,"run":0,"outputs":{}}garbage)")
+                   .has_value());
+}
+
+/// Campaign whose job output is a deterministic pseudo-random function of
+/// the derived seed, with an invocation counter to assert what recomputed.
+struct CountingCampaign {
+  Campaign campaign;
+  std::atomic<int> invocations{0};
+
+  explicit CountingCampaign(int runs) {
+    campaign.name = "journal_test";
+    campaign.base_seed = 33;
+    campaign.runs = runs;
+    campaign.grid.axis("variant", {"a", "b", "c"});
+    campaign.job = [this](const JobContext& ctx) {
+      invocations.fetch_add(1);
+      icc::sim::Rng rng{ctx.seed};
+      JobOutputs out;
+      out["metric"] = {rng.uniform(0.0, 1.0), rng.normal(0.0, 1.0)};
+      return out;
+    };
+  }
+};
+
+std::string report_json(const icc::exp::CampaignResult& result) {
+  icc::sim::RunReport report;
+  result.add_to_report(report);
+  std::ostringstream json;
+  report.write_json(json);
+  return json.str();
+}
+
+class JournalResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("icc_journal_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".jsonl"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(JournalResumeTest, TruncatedJournalResumesWithoutRecomputing) {
+  constexpr int kRuns = 4;  // 3 cells x 4 runs = 12 jobs
+  CountingCampaign full{kRuns};
+  const auto uninterrupted = icc::exp::run_campaign(
+      full.campaign, icc::exp::RunnerOptions{}.with_journal(path_).quiet());
+  EXPECT_EQ(full.invocations.load(), 12);
+  EXPECT_EQ(uninterrupted.jobs_resumed, 0u);
+  const std::string expected = report_json(uninterrupted);
+
+  // Simulate a kill after K=5 jobs: keep 5 journal lines plus a torn line.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in{path_};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 12u);
+  {
+    std::ofstream out{path_, std::ios::trunc};
+    for (int i = 0; i < 5; ++i) out << lines[static_cast<std::size_t>(i)] << '\n';
+    out << lines[5].substr(0, lines[5].size() / 2);  // torn write, no newline
+  }
+
+  CountingCampaign resumed{kRuns};
+  const auto result = icc::exp::run_campaign(
+      resumed.campaign, icc::exp::RunnerOptions{}.with_journal(path_).with_threads(2).quiet());
+  EXPECT_EQ(result.jobs_resumed, 5u);
+  EXPECT_EQ(result.jobs_executed, 7u);
+  EXPECT_EQ(resumed.invocations.load(), 7);
+  EXPECT_EQ(report_json(result), expected);
+
+  // A third invocation over the now-complete journal recomputes nothing.
+  CountingCampaign again{kRuns};
+  const auto replayed = icc::exp::run_campaign(
+      again.campaign, icc::exp::RunnerOptions{}.with_journal(path_).quiet());
+  EXPECT_EQ(replayed.jobs_resumed, 12u);
+  EXPECT_EQ(again.invocations.load(), 0);
+  EXPECT_EQ(report_json(replayed), expected);
+}
+
+TEST_F(JournalResumeTest, ForeignAndDuplicateEntriesAreIgnored) {
+  CountingCampaign first{2};
+  const auto baseline = icc::exp::run_campaign(
+      first.campaign, icc::exp::RunnerOptions{}.with_journal(path_).quiet());
+  const std::string expected = report_json(baseline);
+
+  // Pollute the journal: an entry from another campaign, one with a foreign
+  // base seed, one out of range, and a duplicate of a real line.
+  {
+    std::ifstream in{path_};
+    std::string first_line;
+    std::getline(in, first_line);
+    std::ofstream out{path_, std::ios::app};
+    out << R"({"campaign":"other","base_seed":33,"cell":0,"run":0,"outputs":{"metric":[9.0,9.0]}})"
+        << '\n';
+    out << R"({"campaign":"journal_test","base_seed":34,"cell":0,"run":0,"outputs":{"metric":[9.0,9.0]}})"
+        << '\n';
+    out << R"({"campaign":"journal_test","base_seed":33,"cell":99,"run":0,"outputs":{"metric":[9.0,9.0]}})"
+        << '\n';
+    out << first_line << '\n';  // duplicate: first occurrence must win
+  }
+
+  CountingCampaign second{2};
+  const auto result = icc::exp::run_campaign(
+      second.campaign, icc::exp::RunnerOptions{}.with_journal(path_).quiet());
+  EXPECT_EQ(result.jobs_resumed, 6u);
+  EXPECT_EQ(second.invocations.load(), 0);
+  EXPECT_EQ(report_json(result), expected);
+}
+
+}  // namespace
