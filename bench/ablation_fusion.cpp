@@ -94,7 +94,7 @@ int main() {
   table("false alarm probability [%]", "false_alarm", 100.0);
   table("miss alarm probability [%]", "miss_prob", 100.0);
 
-  if (const char* json_path = std::getenv("ICC_JSON"); json_path != nullptr && *json_path) {
+  if (const std::string json_path = icc::exp::env_string("ICC_JSON"); !json_path.empty()) {
     icc::sim::RunReport report;
     report.set_meta("experiment", "ablation_fusion");
     report.set_meta("runs", static_cast<std::uint64_t>(runs));
@@ -102,7 +102,7 @@ int main() {
     report.set_meta("seed", campaign.base_seed);
     result.add_to_report(report);
     if (!report.write_file(json_path)) {
-      std::fprintf(stderr, "failed to write report to %s\n", json_path);
+      std::fprintf(stderr, "failed to write report to %s\n", json_path.c_str());
     }
   }
   return 0;

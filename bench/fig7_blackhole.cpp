@@ -112,7 +112,7 @@ int main() {
   // Structured export: every (series, attackers) cell contributes
   // throughput, per-run mean energy, per-node energy, and latency series,
   // each carrying count/mean/stddev/min/max.
-  if (const char* json_path = std::getenv("ICC_JSON"); json_path != nullptr && *json_path) {
+  if (const std::string json_path = icc::exp::env_string("ICC_JSON"); !json_path.empty()) {
     icc::sim::RunReport report;
     report.set_meta("experiment", "fig7_blackhole");
     report.set_meta("runs", static_cast<std::uint64_t>(runs));
@@ -120,9 +120,9 @@ int main() {
     report.set_meta("seed", campaign.base_seed);
     result.add_to_report(report);
     if (report.write_file(json_path)) {
-      std::printf("\nreport written to %s\n", json_path);
+      std::printf("\nreport written to %s\n", json_path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write report to %s\n", json_path);
+      std::fprintf(stderr, "failed to write report to %s\n", json_path.c_str());
     }
   }
 

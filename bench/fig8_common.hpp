@@ -32,11 +32,13 @@ inline void run_fig8(const char* experiment, double kt, int runs, double sim_tim
   std::printf("(%d runs per cell, %.0f s simulated; paper uses 50 runs)\n\n", runs, sim_time);
 
   std::vector<std::string> configs;
-  configs.push_back("No IC");
+  configs.reserve(static_cast<std::size_t>(levels_hi - levels_lo + 2));
+  configs.emplace_back("No IC");
   for (int level = levels_lo; level <= levels_hi; ++level) {
     configs.push_back("IC, L=" + std::to_string(level));
   }
   std::vector<std::string> fault_labels;
+  fault_labels.reserve(std::size(faults));
   for (const FaultType fault : faults) fault_labels.emplace_back(sensor::fault_name(fault));
 
   // Each (config, fault) cell job simulates one seeded world twice — with
@@ -102,7 +104,7 @@ inline void run_fig8(const char* experiment, double kt, int runs, double sim_tim
 
   // Structured export: per (config, fault) cell, the cross-run series for
   // the headline metrics. ICC_JSON selects the path (".csv" => CSV).
-  if (const char* json_path = std::getenv("ICC_JSON"); json_path != nullptr && *json_path) {
+  if (const std::string json_path = exp::env_string("ICC_JSON"); !json_path.empty()) {
     sim::RunReport report;
     report.set_meta("experiment", experiment);
     report.set_meta("kt", kt);
@@ -111,9 +113,9 @@ inline void run_fig8(const char* experiment, double kt, int runs, double sim_tim
     report.set_meta("seed", campaign.base_seed);
     result.add_to_report(report);
     if (report.write_file(json_path)) {
-      std::printf("report written to %s\n", json_path);
+      std::printf("report written to %s\n", json_path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write report to %s\n", json_path);
+      std::fprintf(stderr, "failed to write report to %s\n", json_path.c_str());
     }
   }
 }

@@ -10,15 +10,18 @@
 //   versus the empirically measured worst-case shift when F colluders sit
 //   at the optimal offset.
 //
-// Environment knobs: ICC_TRIALS (default 2000).
+// Environment knobs: ICC_TRIALS (default 2000), ICC_JSON (structured
+// report path, ".csv" => CSV).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <string>
 
 #include "exp/env.hpp"
 #include "fusion/ft_cluster.hpp"
 #include "fusion/ft_mean.hpp"
+#include "sim/report.hpp"
 
 namespace {
 
@@ -43,6 +46,13 @@ int main() {
   std::mt19937_64 eng{2718};
   std::normal_distribution<double> noise{0.0, sigma};
 
+  icc::sim::RunReport report;
+  report.set_meta("experiment", "ftcluster_accuracy");
+  report.set_meta("trials", trials);
+  report.set_meta("n", n);
+  report.set_meta("sigma", sigma);
+  report.set_meta("eta", eta);
+
   std::printf("FT-cluster accuracy study (SS 4.3) — N=%d observations, sigma=%.1f, eta=%.1f, "
               "%d trials\n\n", n, sigma, eta, trials);
 
@@ -54,6 +64,7 @@ int main() {
     double se_plain = 0.0;
     for (int trial = 0; trial < trials; ++trial) {
       std::vector<double> obs;
+      obs.reserve(static_cast<std::size_t>(n));
       for (int i = 0; i < n - f; ++i) obs.push_back(truth + noise(eng));
       for (int i = 0; i < f; ++i) obs.push_back(truth + 50.0 + noise(eng));
       const double c = ft_cluster(obs, eta).estimate;
@@ -65,6 +76,10 @@ int main() {
     }
     std::printf("%-4d %12.4f %12.4f %12.4f\n", f, std::sqrt(se_cluster / trials),
                 std::sqrt(se_mean / trials), std::sqrt(se_plain / trials));
+    const std::string row = "rmse.f" + std::to_string(f);
+    report.add_gauge(row + ".ft_cluster", std::sqrt(se_cluster / trials));
+    report.add_gauge(row + ".ft_mean", std::sqrt(se_mean / trials));
+    report.add_gauge(row + ".plain_mean", std::sqrt(se_plain / trials));
   }
   std::printf("(F=0 row: FT-cluster matches the optimal plain mean; FT-mean pays for the\n"
               " 2F=8 observations it always discards. F>0 rows: plain mean is destroyed,\n"
@@ -79,12 +94,16 @@ int main() {
     const double offset = delta_c / (1.0 - 2.0 * static_cast<double>(f) / n);
     for (int trial = 0; trial < trials; ++trial) {
       std::vector<double> obs;
+      obs.reserve(static_cast<std::size_t>(n));
       for (int i = 0; i < n - f; ++i) obs.push_back(unif(eng));
       for (int i = 0; i < f; ++i) obs.push_back(offset);  // optimal colluders
       worst = std::max(worst, std::abs(ft_cluster(obs, 2.0 * delta_c).estimate));
     }
     std::printf("%-4d %14.4f %14.4f\n", f, worst,
                 ft_cluster_worst_case_error(n, f, delta_c) + delta_c);
+    const std::string row = "worst_case.f" + std::to_string(f);
+    report.add_gauge(row + ".measured", worst);
+    report.add_gauge(row + ".bound", ft_cluster_worst_case_error(n, f, delta_c) + delta_c);
   }
   std::printf(
       "(For F <= N/3 the measured worst stays below the analytic bound — the paper's\n"
@@ -92,5 +111,13 @@ int main() {
       " colluding group larger than N/3 can capture the greedy exclusion order and\n"
       " pull the whole cluster onto itself, a regime outside the paper's analysis —\n"
       " see EXPERIMENTS.md.)\n");
+
+  if (const std::string json_path = icc::exp::env_string("ICC_JSON"); !json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::printf("\nreport written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

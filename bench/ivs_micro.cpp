@@ -5,15 +5,18 @@
 // Crypto-Processor ablation: round latency with hardware-assisted versus
 // software cryptography cost models.
 //
-// Environment knobs: ICC_ROUNDS (default 40).
+// Environment knobs: ICC_ROUNDS (default 40), ICC_JSON (structured report
+// path, ".csv" => CSV).
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "core/framework.hpp"
 #include "exp/env.hpp"
 #include "crypto/model_scheme.hpp"
 #include "crypto/pki.hpp"
+#include "sim/report.hpp"
 #include "sim/world.hpp"
 
 namespace {
@@ -41,7 +44,7 @@ RoundCost measure(int circle_size, int level, core::VotingMode mode,
   std::vector<std::unique_ptr<core::InnerCircleNode>> circles;
   for (int i = 0; i < circle_size; ++i) {
     sim::Node& node = world.add_node(std::make_unique<sim::StaticMobility>(
-        sim::Vec2{400.0 + 40.0 * (i % 4), 400.0 + 40.0 * (i / 4)}));
+        sim::Vec2{400.0 + 40.0 * (i % 4), 400.0 + 40.0 * static_cast<double>(i / 4)}));
     core::InnerCircleConfig icc_config;
     icc_config.level = level;
     icc_config.mode = mode;
@@ -104,6 +107,11 @@ int main() {
   const int rounds = icc::exp::env_int("ICC_ROUNDS", 40);
   const int circle_size = 12;
 
+  sim::RunReport report;
+  report.set_meta("experiment", "ivs_micro");
+  report.set_meta("rounds", rounds);
+  report.set_meta("circle_size", circle_size);
+
   std::printf("IVS round cost, dense circle of %d nodes (%d rounds per cell)\n\n",
               circle_size, rounds);
   std::printf("%-3s | %-28s | %-28s\n", "L", "deterministic", "statistical");
@@ -116,6 +124,11 @@ int main() {
                                    core::CryptoCostModel::hardware(), rounds);
     std::printf("%-3d | %9.1f %12.2f | %9.1f %12.2f\n", level, det.msgs_per_round,
                 det.latency_ms, stat.msgs_per_round, stat.latency_ms);
+    const std::string row = "level" + std::to_string(level);
+    report.add_gauge(row + ".det.msgs_per_round", det.msgs_per_round);
+    report.add_gauge(row + ".det.latency_ms", det.latency_ms);
+    report.add_gauge(row + ".stat.msgs_per_round", stat.msgs_per_round);
+    report.add_gauge(row + ".stat.latency_ms", stat.latency_ms);
   }
 
   std::printf("\nCrypto-Processor ablation (deterministic, L=2): round latency\n");
@@ -126,5 +139,15 @@ int main() {
   std::printf("%-22s %10.2f ms\n", "hardware crypto", hw.latency_ms);
   std::printf("%-22s %10.2f ms  (%.1fx slower)\n", "software crypto", sw.latency_ms,
               sw.latency_ms / hw.latency_ms);
+  report.add_gauge("crypto_ablation.hardware.latency_ms", hw.latency_ms);
+  report.add_gauge("crypto_ablation.software.latency_ms", sw.latency_ms);
+
+  if (const std::string json_path = icc::exp::env_string("ICC_JSON"); !json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::printf("\nreport written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "aodv/blackhole_experiment.hpp"
+#include "exp/env.hpp"
 
 int main(int argc, char** argv) {
   using icc::aodv::BlackholeExperimentConfig;
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
 
   // With ICC_PROFILE set the scheduler collects wall-clock timings; report
   // the guarded run's breakdown by event category.
-  if (std::getenv("ICC_PROFILE") != nullptr) {
+  if (icc::exp::env_int("ICC_PROFILE", 0) != 0) {
     const icc::sim::SchedulerProfile& prof = guarded_result.profile;
     std::printf("\nscheduler profile (inner-circle run): %llu events, %.3f s wall, "
                 "%.0f events/s\n",

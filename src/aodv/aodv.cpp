@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hpp"
 #include "sim/world.hpp"
 
 namespace icc::aodv {
@@ -72,6 +73,11 @@ void Aodv::update_route(sim::NodeId dest, sim::NodeId next_hop, std::uint32_t ho
                      (seq == entry.dest_seq && hop_count < entry.hop_count))) ||
       (!seq_known && !entry.seq_known && hop_count < entry.hop_count);
   if (!fresher) return;
+  // Sequence-number monotonicity (AODV §6.2): a live, sequence-known route
+  // may only be replaced by information at least as fresh.
+  ICC_ASSERT(!(entry.valid && entry.expires > now() && entry.seq_known && seq_known) ||
+                 seq >= entry.dest_seq,
+             "route update would move a live destination sequence number backwards");
   entry.next_hop = next_hop;
   entry.hop_count = hop_count;
   if (seq_known) {

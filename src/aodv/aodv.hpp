@@ -14,8 +14,8 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <set>
-#include <unordered_map>
 
 #include "aodv/messages.hpp"
 #include "sim/metrics.hpp"
@@ -114,7 +114,11 @@ class Aodv {
 
   std::uint32_t own_seq_{1};
   std::uint32_t next_rreq_id_{1};
-  std::unordered_map<sim::NodeId, RouteEntry> routes_;
+  // Ordered deliberately: on_link_failure and forward_data iterate routes_
+  // to assemble RERR payloads, so iteration order reaches packet contents.
+  // std::map keys the walk on NodeId instead of hash-table layout, keeping
+  // the wire bytes a pure function of protocol state (DESIGN.md §9).
+  std::map<sim::NodeId, RouteEntry> routes_;
   std::set<std::pair<sim::NodeId, std::uint32_t>> seen_rreqs_;
 
   struct PendingDiscovery {
@@ -122,7 +126,10 @@ class Aodv {
     sim::Scheduler::EventId retry_event{sim::Scheduler::kNoEvent};
     std::deque<sim::Packet> buffered;
   };
-  std::unordered_map<sim::NodeId, PendingDiscovery> pending_;
+  // Keyed access only today, but kept ordered alongside routes_ so a future
+  // sweep (e.g. buffer-expiry reporting) cannot reintroduce hash-order
+  // nondeterminism.
+  std::map<sim::NodeId, PendingDiscovery> pending_;
 };
 
 }  // namespace icc::aodv

@@ -24,6 +24,7 @@ bool SuspicionsManager::convicted(sim::NodeId id) const { return convicted_.coun
 
 std::vector<sim::NodeId> SuspicionsManager::suspects(sim::Time now) const {
   std::vector<sim::NodeId> out;
+  out.reserve(convicted_.size() + temporary_.size());
   for (const auto& [id, _] : convicted_) out.push_back(id);
   for (const auto& [id, entry] : temporary_) {
     if (entry.until > now && convicted_.count(id) == 0) out.push_back(id);

@@ -7,8 +7,8 @@
 // suspected nodes.
 #pragma once
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -42,8 +42,11 @@ class SuspicionsManager {
   };
 
   sim::Time temporary_duration_;
-  std::unordered_map<sim::NodeId, TempEntry> temporary_;
-  std::unordered_map<sim::NodeId, std::string> convicted_;
+  // Ordered deliberately: suspects() iterates both maps and its output can
+  // steer interception decisions, so the walk must not depend on hash-table
+  // layout (DESIGN.md §9).
+  std::map<sim::NodeId, TempEntry> temporary_;
+  std::map<sim::NodeId, std::string> convicted_;
 };
 
 }  // namespace icc::core

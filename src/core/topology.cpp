@@ -31,6 +31,7 @@ void SecureTopologyService::start() {
 
 std::vector<sim::NodeId> SecureTopologyService::inner_circle() const {
   std::vector<sim::NodeId> out;
+  out.reserve(peers_.size());
   const sim::Time t = now();
   for (const auto& [id, peer] : peers_) {
     if (peer.authenticated && t - peer.last_heard <= params_.delta_sts) out.push_back(id);
@@ -62,8 +63,9 @@ bool SecureTopologyService::is_within_two_hops(sim::NodeId q) const {
 }
 
 std::vector<sim::NodeId> SecureTopologyService::two_hop_circle() const {
-  std::vector<sim::NodeId> out = inner_circle();
-  for (const sim::NodeId n : std::vector<sim::NodeId>{out}) {
+  const std::vector<sim::NodeId> direct = inner_circle();
+  std::vector<sim::NodeId> out = direct;
+  for (const sim::NodeId n : direct) {
     for (const sim::NodeId q : neighbors_of(n)) {
       if (q == node_.id()) continue;
       if (std::find(out.begin(), out.end(), q) == out.end()) out.push_back(q);
@@ -100,6 +102,7 @@ void SecureTopologyService::send_beacon() {
   beacon->seq = ++beacon_seq_;
   beacon->pos = node_.position();
 
+  beacon->neighbors.reserve(peers_.size());
   for (const auto& [id, peer] : peers_) {
     if (peer.authenticated && t - peer.last_heard <= params_.delta_sts) {
       beacon->neighbors.push_back(id);

@@ -14,8 +14,8 @@
 //  * Two-Hop Accuracy — a correct neighbor's own neighbors become visible.
 #pragma once
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/messages.hpp"
@@ -89,7 +89,11 @@ class SecureTopologyService {
   const crypto::AsymmetricCipher& cipher_;
   sim::Rng rng_;
   std::uint64_t beacon_seq_{0};
-  std::unordered_map<sim::NodeId, PeerState> peers_;
+  // Ordered deliberately: send_beacon iterates peers_ to assemble the
+  // beacon's neighbor list (wire bytes) and inner_circle feeds voting-round
+  // membership, so iteration order is simulation-affecting. std::map keys
+  // both walks on NodeId instead of hash-table layout (DESIGN.md §9).
+  std::map<sim::NodeId, PeerState> peers_;
 };
 
 }  // namespace icc::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hpp"
 #include "sim/world.hpp"
 
 namespace icc::core {
@@ -110,6 +111,12 @@ std::uint64_t IvsService::initiate(VotingMode mode, int level, Value value) {
 }
 
 void IvsService::begin_propose_phase(std::uint64_t round_id, Round& round) {
+  // Round state machine: deterministic rounds propose immediately;
+  // statistical rounds may enter the propose phase only out of soliciting.
+  ICC_ASSERT(round.mode == VotingMode::kDeterministic || round.phase == Phase::kSoliciting,
+             "a statistical round must gather values before proposing");
+  ICC_ASSERT(round.partials.empty() && round.partial_senders.empty(),
+             "a round must enter the propose phase with no collected partials");
   round.phase = Phase::kProposing;
 
   auto propose = std::make_shared<ProposeMsg>();
@@ -194,6 +201,8 @@ void IvsService::handle_value(const ValueMsg& msg, sim::NodeId from) {
 
   round.value_senders.insert(msg.sender);
   round.evidence.push_back(msg);
+  ICC_ASSERT(round.evidence.size() == round.value_senders.size(),
+             "every piece of evidence must come from a distinct sender");
 
   // Center's own value is in the evidence, so L others makes L+1 total.
   if (round.value_senders.size() >= static_cast<std::size_t>(round.level) + 1) {
@@ -236,12 +245,19 @@ void IvsService::handle_ack(const AckMsg& msg, sim::NodeId from) {
 
   round.partial_senders.insert(msg.sender);
   round.partials.push_back(msg.psig);
+  ICC_ASSERT(round.partials.size() == round.partial_senders.size(),
+             "every partial signature must come from a distinct sender");
   if (round.partial_senders.size() >= static_cast<std::size_t>(round.level) + 1) {
     complete_round(msg.round, round);
   }
 }
 
 void IvsService::complete_round(std::uint64_t round_id, Round& round) {
+  // Agreement precondition (§4.2): completion requires L+1 distinct
+  // approvals (the center's own partial plus L acks), in the propose phase.
+  ICC_ASSERT(round.phase == Phase::kProposing, "only a proposed round can complete");
+  ICC_ASSERT(round.partial_senders.size() >= static_cast<std::size_t>(round.level) + 1,
+             "completing a round requires L+1 distinct partial signatures");
   const auto signed_bytes =
       AgreedMsg::signed_bytes(node_.id(), round_id, round.level, round.agreed_value);
   charge_crypto(params_.cost.combine_delay);

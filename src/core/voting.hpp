@@ -17,10 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <tuple>
-#include <unordered_map>
 
 #include "core/callbacks.hpp"
 #include "core/messages.hpp"
@@ -111,7 +111,10 @@ class IvsService {
   Callbacks& callbacks_;
 
   std::uint64_t next_round_{1};
-  std::unordered_map<std::uint64_t, Round> rounds_;  ///< rounds we center
+  /// Rounds we center. Keyed access only, but ordered so any future sweep
+  /// (abort-all, diagnostics dumps) visits rounds in id order instead of
+  /// hash order (DESIGN.md §9).
+  std::map<std::uint64_t, Round> rounds_;
 
   // Participant-side dedup: rounds we already contributed a value / ack to,
   // and agreed messages already delivered, keyed by (center, round).

@@ -4,6 +4,7 @@
 // Tx 660 mW, Rx 395 mW, Idle 35 mW).
 #pragma once
 
+#include "sim/check.hpp"
 #include "sim/types.hpp"
 
 namespace icc::sim {
@@ -19,11 +20,20 @@ struct EnergyParams {
 /// the hot path only sums two doubles.
 class EnergyMeter {
  public:
-  void charge_tx(double seconds) noexcept { tx_time_ += seconds; }
-  void charge_rx(double seconds) noexcept { rx_time_ += seconds; }
+  void charge_tx(double seconds) noexcept {
+    ICC_ASSERT(seconds >= 0.0, "radio airtime charges must be non-negative");
+    tx_time_ += seconds;
+  }
+  void charge_rx(double seconds) noexcept {
+    ICC_ASSERT(seconds >= 0.0, "radio airtime charges must be non-negative");
+    rx_time_ += seconds;
+  }
   /// Non-radio consumption (e.g., cryptographic operations, §4's
   /// Crypto-Processor vs software trade-off), in joules.
-  void charge_extra(double joules) noexcept { extra_j_ += joules; }
+  void charge_extra(double joules) noexcept {
+    ICC_ASSERT(joules >= 0.0, "energy charges must be non-negative");
+    extra_j_ += joules;
+  }
 
   [[nodiscard]] double tx_time() const noexcept { return tx_time_; }
   [[nodiscard]] double rx_time() const noexcept { return rx_time_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hpp"
 #include "sim/node.hpp"
 #include "sim/world.hpp"
 
@@ -62,6 +63,9 @@ void Mac::try_transmit() {
 
 void Mac::transmit_current() {
   const Time now = world_.sched().now();
+  ICC_ASSERT(in_progress_ && !queue_.empty(),
+             "transmit_current requires an in-progress head-of-queue frame");
+  ICC_ASSERT(!transmitting(now), "half-duplex: a radio cannot start two transmissions at once");
   Frame& frame = queue_.front();
   const double duration = frame_airtime(frame.packet.size_bytes);
 
@@ -96,6 +100,8 @@ void Mac::transmit_current() {
 }
 
 void Mac::on_ack_timeout() {
+  ICC_ASSERT(in_progress_ && !queue_.empty(),
+             "an ack timeout must belong to an in-progress head-of-queue frame");
   ack_timeout_event_ = Scheduler::kNoEvent;
   awaiting_ack_id_ = 0;
   ++retries_;
@@ -114,6 +120,8 @@ void Mac::on_ack_timeout() {
 }
 
 void Mac::finish_current(bool /*success*/) {
+  ICC_ASSERT(in_progress_ && !queue_.empty(),
+             "finish_current requires an in-progress head-of-queue frame");
   queue_.pop_front();
   in_progress_ = false;
   kick();
@@ -122,6 +130,16 @@ void Mac::finish_current(bool /*success*/) {
 void Mac::begin_reception(const Frame& frame, double duration) {
   if (node_.down()) return;
   const Time now = world_.sched().now();
+  ICC_ASSERT(duration > 0.0, "a frame on the air must have positive airtime");
+#if ICC_CHECKED_ENABLED
+  // Reception-leak detection: every entry of receptions_ is erased by its
+  // completion event at `end`. An entry strictly in the past means that
+  // event was lost or mismatched — the frame neither arrived nor collided,
+  // which would silently violate packet conservation.
+  for (const Reception& r : receptions_) {
+    ICC_CHECK(r.end >= now, "reception leak: a frame's completion event never fired");
+  }
+#endif
   if (transmitting(now)) return;  // half-duplex: deaf while transmitting
 
   node_.energy().charge_rx(duration);

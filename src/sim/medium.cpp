@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hpp"
 #include "sim/world.hpp"
 
 namespace icc::sim {
@@ -12,7 +13,13 @@ void Medium::prune(Time now) const {
 
 void Medium::begin_transmission(const Frame& frame, double duration) {
   const Time now = world_.sched().now();
+  ICC_ASSERT(duration > 0.0, "a transmission must occupy the medium for positive time");
+  ICC_ASSERT(frame.tx < world_.num_nodes(), "transmissions must come from a known node");
   prune(now);
+  // Conservation: radios are half-duplex, so after pruning expired entries
+  // there can never be more concurrent transmissions than nodes.
+  ICC_CHECK(on_air_.size() < world_.num_nodes(),
+            "more in-flight transmissions than transmitters: a frame leaked on the air");
   ++frames_sent_;
   world_.tracer().emit({now, TraceType::kPacketTx, frame.tx, frame.rx, frame.packet.uid,
                         frame.packet.size_bytes, duration,

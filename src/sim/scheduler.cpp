@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 namespace icc::sim {
@@ -20,10 +21,14 @@ const char* event_tag_name(EventTag tag) noexcept {
 }
 
 Scheduler::EventId Scheduler::schedule_at(Time t, std::function<void()> fn, EventTag tag) {
+  ICC_ASSERT(fn != nullptr, "scheduled events must carry a callable");
+  ICC_ASSERT(!std::isnan(t), "event times must not be NaN");
   if (t < now_) t = now_;  // clamp: "immediately" from a handler's viewpoint
   const EventId id = next_seq_++;
   queue_.push(QueueEntry{t, id, id});
   pending_.emplace(id, PendingEvent{std::move(fn), tag});
+  ICC_CHECK(pending_.size() <= queue_.size(),
+            "every pending EventId must have a queue entry backing it");
   return id;
 }
 
@@ -32,8 +37,10 @@ void Scheduler::execute(PendingEvent&& event) {
   const auto tag = static_cast<std::size_t>(event.tag);
   ++profile_.executed[tag];
   if (profiling_) {
+    // detlint:allow(wall-clock): profiler measures host cost only; results never reach simulated state
     const auto t0 = std::chrono::steady_clock::now();
     event.fn();
+    // detlint:allow(wall-clock): profiler measures host cost only; results never reach simulated state
     const auto t1 = std::chrono::steady_clock::now();
     profile_.wall_seconds[tag] += std::chrono::duration<double>(t1 - t0).count();
   } else {
@@ -45,6 +52,9 @@ void Scheduler::run_until(Time end) {
   while (!queue_.empty()) {
     const QueueEntry top = queue_.top();
     if (top.time > end) break;
+    ICC_ASSERT(top.time >= now_, "event time monotonicity: the queue must never yield an "
+                                 "event scheduled before the current simulated time");
+    ICC_ASSERT(top.id < next_seq_, "queue entries must reference ids the scheduler issued");
     queue_.pop();
     auto it = pending_.find(top.id);
     if (it == pending_.end()) continue;  // cancelled
@@ -53,12 +63,17 @@ void Scheduler::run_until(Time end) {
     now_ = top.time;
     execute(std::move(event));
   }
+  ICC_CHECK(!queue_.empty() || pending_.empty(),
+            "stale EventId: pending_ retains entries after the queue drained");
   if (now_ < end) now_ = end;
 }
 
 void Scheduler::run_all() {
   while (!queue_.empty()) {
     const QueueEntry top = queue_.top();
+    ICC_ASSERT(top.time >= now_, "event time monotonicity: the queue must never yield an "
+                                 "event scheduled before the current simulated time");
+    ICC_ASSERT(top.id < next_seq_, "queue entries must reference ids the scheduler issued");
     queue_.pop();
     auto it = pending_.find(top.id);
     if (it == pending_.end()) continue;
@@ -67,6 +82,7 @@ void Scheduler::run_all() {
     now_ = top.time;
     execute(std::move(event));
   }
+  ICC_CHECK(pending_.empty(), "stale EventId: pending_ retains entries after the queue drained");
 }
 
 }  // namespace icc::sim

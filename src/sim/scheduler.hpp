@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/check.hpp"
 #include "sim/types.hpp"
 
 namespace icc::sim {
@@ -99,6 +100,13 @@ class Scheduler {
   void enable_profiling(bool on) noexcept { profiling_ = on; }
   [[nodiscard]] bool profiling() const noexcept { return profiling_; }
   [[nodiscard]] const SchedulerProfile& profile() const noexcept { return profile_; }
+
+#if ICC_CHECKED_ENABLED
+  /// Test-only corruption hook: rewinds the clock behind the queue's back so
+  /// death tests can demonstrate the event-time monotonicity invariant
+  /// firing (tests/sim/check_test.cpp). Checked builds only.
+  void debug_set_now(Time t) noexcept { now_ = t; }
+#endif
 
  private:
   struct PendingEvent {

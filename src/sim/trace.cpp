@@ -138,9 +138,11 @@ std::uint32_t Tracer::parse_mask(const char* spec) {
 }
 
 void Tracer::configure_from_env() {
+  // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
   const std::uint32_t mask = parse_mask(std::getenv("ICC_TRACE"));
   if (mask == 0) return;
   mask_ |= mask;
+  // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
   const char* path = std::getenv("ICC_TRACE_FILE");
   if (path != nullptr && *path != '\0') {
     std::ostream& out = shared_file_stream(path);

@@ -10,6 +10,7 @@ World::World(WorldConfig config)
       medium_{*this, config.tx_range, config.tx_range * config.cs_range_factor},
       rng_{config.seed} {
   tracer_.configure_from_env();
+  // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); profiling toggle only
   const char* profile = std::getenv("ICC_PROFILE");
   if (profile != nullptr && *profile != '\0' && std::strcmp(profile, "0") != 0) {
     sched_.enable_profiling(true);

@@ -1,0 +1,77 @@
+// Checked-build invariant layer (DESIGN.md §9).
+//
+// Built with -DICC_CHECKED=ON, a violated invariant must abort with a
+// diagnostic naming the macro and message; in a release build the macros
+// must compile out without evaluating their conditions.
+#include "sim/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sim/energy.hpp"
+#include "sim/scheduler.hpp"
+
+namespace icc::sim {
+namespace {
+
+#if ICC_CHECKED_ENABLED
+
+TEST(CheckDeathTest, EventScheduledInThePastAborts) {
+  EXPECT_DEATH(
+      {
+        Scheduler sched;
+        sched.schedule_at(1.0, [] {});
+        // Corrupt the clock past the queued event; the dispatch loop must
+        // catch the monotonicity violation instead of running it.
+        sched.debug_set_now(10.0);
+        sched.run_all();
+      },
+      "monotonicity");
+}
+
+TEST(CheckDeathTest, NullEventAborts) {
+  EXPECT_DEATH(
+      {
+        Scheduler sched;
+        sched.schedule_at(1.0, std::function<void()>{});
+      },
+      "callable");
+}
+
+TEST(CheckDeathTest, NegativeEnergyChargeAborts) {
+  EXPECT_DEATH(
+      {
+        EnergyMeter meter;
+        meter.charge_extra(-1.0);
+      },
+      "non-negative");
+}
+
+TEST(CheckDeathTest, NegativeAirtimeAborts) {
+  EXPECT_DEATH(
+      {
+        EnergyMeter meter;
+        meter.charge_tx(-0.5);
+      },
+      "non-negative");
+}
+
+#else
+
+TEST(Check, MacrosCompileOutOfReleaseBuilds) {
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  ICC_ASSERT(touch(), "must not be evaluated in a release build");
+  ICC_CHECK(touch(), "must not be evaluated in a release build");
+  (void)touch;
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif
+
+}  // namespace
+}  // namespace icc::sim

@@ -1,0 +1,11 @@
+// detlint self-test fixture: every idiom below is waived with a reason, so
+// the file must lint clean — and both waivers must register as used.
+#include <chrono>
+#include <cstdlib>
+
+// detlint:allow(wall-clock): fixture exercises the line-above waiver form
+static const auto fixture_start = std::chrono::steady_clock::now();
+
+const char* fixture_home() {
+  return std::getenv("HOME");  // detlint:allow(raw-getenv): fixture exercises the same-line waiver form
+}

@@ -1,0 +1,6 @@
+// detlint self-test fixture: must trip exactly the pointer-keys rule.
+#include <map>
+
+struct Node;
+
+std::map<Node*, int> degree_by_node;
