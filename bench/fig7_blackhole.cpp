@@ -14,6 +14,7 @@
 #include "aodv/blackhole_experiment.hpp"
 #include "exp/env.hpp"
 #include "exp/runner.hpp"
+#include "fault/ledger.hpp"
 #include "sim/report.hpp"
 
 int main() {
@@ -63,8 +64,13 @@ int main() {
   }
   campaign.job = [&](const icc::exp::JobContext& ctx) {
     const Series& s = series[campaign.grid.level(ctx.cell, 0)];
+    const int m = attacker_counts[campaign.grid.level(ctx.cell, 1)];
     BlackholeExperimentConfig config;
-    config.num_malicious = attacker_counts[campaign.grid.level(ctx.cell, 1)];
+    // The attacker axis is a FaultPlan: each grid level is a different set
+    // of protocol-misbehavior specs. num_malicious stays set so the CBR
+    // endpoint draw keeps avoiding the attacker ids (same worlds as ever).
+    config.plan = icc::fault::black_hole_plan(m);
+    config.num_malicious = m;
     config.inner_circle = s.inner_circle;
     config.level = s.level;
     config.sim_time = sim_time;
@@ -75,6 +81,18 @@ int main() {
     out["energy_j"] = {r.mean_energy_j};
     out["latency_s"] = {r.mean_latency_s};
     out["node_energy_j"] = r.node_energy_j;
+    // The neutralization-coverage ledger rides along with every run, so the
+    // report carries injected/detected/neutralized/escaped per fault class
+    // next to the throughput numbers they explain.
+    for (std::size_t c = 0; c < icc::fault::kNumFaultClasses; ++c) {
+      const icc::fault::CoverageRow& row = r.coverage[c];
+      std::string base = "fault.";
+      base += icc::fault::fault_class_name(static_cast<icc::fault::FaultClass>(c));
+      out[base + ".injected"] = {static_cast<double>(row.injected)};
+      out[base + ".detected"] = {static_cast<double>(row.detected)};
+      out[base + ".neutralized"] = {static_cast<double>(row.neutralized)};
+      out[base + ".escaped"] = {static_cast<double>(row.escaped)};
+    }
     return out;
   };
 

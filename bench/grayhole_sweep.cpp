@@ -15,6 +15,7 @@
 #include "aodv/blackhole_experiment.hpp"
 #include "exp/env.hpp"
 #include "exp/runner.hpp"
+#include "fault/ledger.hpp"
 #include "sim/report.hpp"
 
 int main() {
@@ -69,9 +70,11 @@ int main() {
     const DutyCycle& cycle = cycles[campaign.grid.level(ctx.cell, 0)];
     const Defense& defense = defenses[campaign.grid.level(ctx.cell, 1)];
     BlackholeExperimentConfig config;
+    // The duty-cycle axis is a FaultPlan: gray_hole_plan puts the periodic
+    // Schedule in the specs (on == 0 degenerates to the always-on black
+    // hole). num_malicious keeps the CBR endpoint draw off the attacker ids.
+    config.plan = icc::fault::gray_hole_plan(attackers, cycle.on, cycle.off);
     config.num_malicious = attackers;
-    config.gray_on_period = cycle.on;
-    config.gray_off_period = cycle.off;
     config.watchdog = defense.watchdog;
     config.inner_circle = defense.inner_circle;
     config.level = 1;
@@ -81,6 +84,17 @@ int main() {
     icc::exp::JobOutputs out;
     out["throughput"] = {r.throughput};
     out["energy_j"] = {r.mean_energy_j};
+    // Coverage ledger per run: for this bench the protocol row is the story
+    // (how many gray-hole injections each defense detected vs. masked).
+    for (std::size_t c = 0; c < icc::fault::kNumFaultClasses; ++c) {
+      const icc::fault::CoverageRow& row = r.coverage[c];
+      std::string base = "fault.";
+      base += icc::fault::fault_class_name(static_cast<icc::fault::FaultClass>(c));
+      out[base + ".injected"] = {static_cast<double>(row.injected)};
+      out[base + ".detected"] = {static_cast<double>(row.detected)};
+      out[base + ".neutralized"] = {static_cast<double>(row.neutralized)};
+      out[base + ".escaped"] = {static_cast<double>(row.escaped)};
+    }
     return out;
   };
   const icc::exp::CampaignResult result = icc::exp::run_campaign(campaign);

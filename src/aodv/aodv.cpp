@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/ledger.hpp"
 #include "sim/check.hpp"
 #include "sim/world.hpp"
 
@@ -367,6 +368,10 @@ void Aodv::on_link_failure(const sim::Packet& packet, sim::NodeId next_hop) {
   // retry/timeout logic.
   if (packet.body_as<DataMsg>() == nullptr) return;
   node_.world().stats().add("aodv.link_failures");
+  // The exhausted MAC retry is how a crashed/out-of-range next hop shows up
+  // to routing — report it as a detected node fault (innocent mobility also
+  // trips this; the ledger's capped rows absorb the over-reporting).
+  fault::report_detected(node_.world(), fault::FaultClass::kNode, next_hop);
 
   RerrMsg rerr;
   for (auto& [dest, entry] : routes_) {

@@ -78,7 +78,7 @@ class Aodv {
     bool valid{false};
   };
 
-  // Virtual so attacker variants (blackhole.hpp) can subvert exactly the
+  // Virtual so attacker variants (misbehavior.hpp) can subvert exactly the
   // steps a compromised implementation would.
   virtual void handle_rreq(const RreqMsg& rreq, sim::NodeId from);
   virtual void handle_rrep(const RrepMsg& rrep, sim::NodeId from);

@@ -1,9 +1,12 @@
 #include "aodv/blackhole_experiment.hpp"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 
-#include "aodv/blackhole.hpp"
 #include "aodv/guard.hpp"
+#include "aodv/misbehavior.hpp"
+#include "fault/injector.hpp"
 #include "aodv/watchdog.hpp"
 #include "core/framework.hpp"
 #include "crypto/model_scheme.hpp"
@@ -29,8 +32,19 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   crypto::ModelPki pki{config.seed ^ 0x5A5Aull, config.key_bits};
   crypto::ModelCipher cipher;
 
-  // Nodes: the first num_malicious ids are attackers (ids are structural,
-  // so which ids attack does not bias the uniform geometry).
+  // The adversary is a FaultPlan. The num_malicious shorthand synthesizes
+  // the paper's attackers — nodes 0..m-1 as black/gray holes — unless the
+  // caller supplied explicit protocol specs (ids are structural, so which
+  // ids attack does not bias the uniform geometry).
+  fault::FaultPlan plan = config.plan;
+  if (plan.protocol.empty() && config.num_malicious > 0) {
+    plan.protocol = fault::gray_hole_plan(config.num_malicious, config.gray_on_period,
+                                          config.gray_off_period)
+                        .protocol;
+  }
+  std::map<sim::NodeId, const fault::ProtocolFault*> attackers;
+  for (const fault::ProtocolFault& spec : plan.protocol) attackers.emplace(spec.node, &spec);
+
   const int n = config.num_nodes;
   std::vector<std::unique_ptr<Aodv>> agents;
   std::vector<std::unique_ptr<core::InnerCircleNode>> circles;
@@ -49,12 +63,11 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
     sim::Node& node = world.add_node(std::make_unique<sim::RandomWaypoint>(
         mob, start, world.fork_rng(0x6D6F62ull + static_cast<std::uint64_t>(i))));
 
-    const bool malicious = i < config.num_malicious;
+    const auto attacker = attackers.find(static_cast<sim::NodeId>(i));
+    const bool malicious = attacker != attackers.end();
     if (malicious) {
-      BlackholeAodv::AttackParams attack;
-      attack.on_period = config.gray_on_period;
-      attack.off_period = config.gray_off_period;
-      agents.push_back(std::make_unique<BlackholeAodv>(node, Aodv::Params{}, attack));
+      agents.push_back(
+          std::make_unique<MisbehaviorAodv>(node, Aodv::Params{}, *attacker->second));
     } else {
       agents.push_back(std::make_unique<Aodv>(node, Aodv::Params{}));
     }
@@ -99,6 +112,12 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
         std::make_unique<traffic::CbrConnection>(*agents[src], dst, params));
   }
 
+  // Channel and node faults go live last: with neither in the plan the
+  // engine forks no RNG and installs no hooks, so legacy configurations
+  // reproduce their pre-plan numbers bit for bit.
+  std::optional<fault::InjectionEngine> engine;
+  if (!plan.channel.empty() || !plan.node.empty()) engine.emplace(world, plan);
+
   world.run_until(config.sim_time);
 
   BlackholeExperimentResult result;
@@ -118,6 +137,9 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   result.watchdog_blacklisted =
       static_cast<std::uint64_t>(world.stats().get("watchdog.blacklisted"));
   result.mac_collisions = world.medium().collisions();
+  const fault::CoverageLedger ledger{world};
+  result.coverage = ledger.rows();
+  result.coverage_consistent = ledger.consistent();
   result.node_energy_j.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const double e = world.node(static_cast<sim::NodeId>(i))
@@ -154,6 +176,8 @@ BlackholeExperimentResult run_blackhole_experiment_averaged(BlackholeExperimentC
     total.latency_runs.add(one.mean_latency_s);
     for (const double e : one.node_energy_j) total.node_energy_runs.add(e);
     total.node_energy_j = one.node_energy_j;
+    total.coverage = one.coverage;
+    total.coverage_consistent = total.coverage_consistent && one.coverage_consistent;
     total.profile = one.profile;
   }
   const double k = runs > 0 ? static_cast<double>(runs) : 1.0;

@@ -4,11 +4,14 @@
 // inner-circle framework — runs it, and reports throughput and energy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/callbacks.hpp"
+#include "fault/ledger.hpp"
+#include "fault/plan.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/types.hpp"
@@ -25,7 +28,16 @@ struct BlackholeExperimentConfig {
   double rate_pps{4.0};
   std::uint32_t packet_bytes{512};
   sim::Time sim_time{300.0};
+  /// Shorthand for the paper's scenario: nodes 0..num_malicious-1 become
+  /// black/gray holes (per gray_on/off_period below) when `plan.protocol`
+  /// is empty, and CBR endpoints always avoid these low ids so the flows
+  /// measure the network, not a dead attacker endpoint.
   int num_malicious{0};
+
+  /// The declarative adversary. Protocol specs name the misbehaving AODV
+  /// nodes (overriding the num_malicious shorthand when non-empty); channel
+  /// and node specs are applied by a fault::InjectionEngine over the world.
+  fault::FaultPlan plan;
 
   // Defense configuration. `inner_circle` and `watchdog` are mutually
   // exclusive defenses; neither set = undefended baseline.
@@ -56,6 +68,11 @@ struct BlackholeExperimentResult {
   std::uint64_t watchdog_blacklisted{0};
   std::uint64_t voting_rounds{0};
   std::uint64_t mac_collisions{0};
+
+  /// Neutralization-coverage ledger rows (index = fault::FaultClass) and
+  /// the ledger's accounting-invariant verdict, from the (last) run.
+  std::array<fault::CoverageRow, fault::kNumFaultClasses> coverage{};
+  bool coverage_consistent{true};
 
   /// Per-node energy totals, in joules, from the (last) run.
   std::vector<double> node_energy_j;

@@ -1,5 +1,6 @@
 #include "aodv/guard.hpp"
 
+#include "fault/ledger.hpp"
 #include "sim/world.hpp"
 
 namespace icc::aodv {
@@ -41,12 +42,17 @@ bool AodvGuard::is_valid_forwarder(sim::NodeId who, sim::NodeId dest,
 
 bool AodvGuard::check(sim::NodeId center, const core::Value& value) {
   const auto decoded = RrepMsg::wire_decode(value);
-  if (!decoded) return false;
-  const RrepMsg& rrep = decoded->first;
   // Fig 6: accept iff the center is the sought destination itself, or this
   // node already recorded it as a legitimate forwarder for (dest, dest_seq).
-  if (center == rrep.dest) return true;
-  return is_valid_forwarder(center, rrep.dest, rrep.dest_seq);
+  const bool ok = decoded && (center == decoded->first.dest ||
+                              is_valid_forwarder(center, decoded->first.dest,
+                                                 decoded->first.dest_seq));
+  // A rejected checkVal is the guard *detecting* an implausible route claim
+  // from the center — the coverage ledger attributes it to that node.
+  if (!ok) {
+    fault::report_detected(aodv_.node().world(), fault::FaultClass::kProtocol, center);
+  }
+  return ok;
 }
 
 void AodvGuard::on_agreed(const core::AgreedMsg& msg, bool is_center) {

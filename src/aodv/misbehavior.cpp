@@ -1,0 +1,144 @@
+#include "aodv/misbehavior.hpp"
+
+#include "fault/ledger.hpp"
+#include "sim/world.hpp"
+
+namespace icc::aodv {
+
+namespace {
+constexpr std::uint64_t kAttackRngSalt = 0x42484F4Cull;  // "BHOL"
+}
+
+MisbehaviorAodv::MisbehaviorAodv(sim::Node& node, Params params, fault::ProtocolFault spec)
+    : Aodv{node, params},
+      spec_{spec},
+      attack_rng_{node.world().fork_rng(kAttackRngSalt + node.id())},
+      // The legacy metric names stay: fig7 tables, the demo, and the
+      // coverage ledger all read one interned counter now.
+      m_rrep_forged_{node.world().metrics().counter_id("blackhole.rrep_sent")},
+      m_data_dropped_{node.world().metrics().counter_id("blackhole.data_dropped")},
+      m_data_dropped_node_{
+          node.world().metrics().node_counter_id("blackhole.data_dropped", node.id())} {
+  // Periodic misbehaviors schedule their ticks up front — and only when the
+  // spec asks for them, so a pure black/gray hole adds zero events and zero
+  // RNG draws relative to the old dedicated attacker class.
+  if (spec_.replay_interval_s > 0.0) {
+    node_.world().sched().schedule_in(spec_.replay_interval_s, [this] { replay_tick(); },
+                                      sim::EventTag::kRouting);
+  }
+  if (spec_.flood_interval_s > 0.0) {
+    node_.world().sched().schedule_in(spec_.flood_interval_s, [this] { flood_tick(); },
+                                      sim::EventTag::kRouting);
+  }
+}
+
+std::uint64_t MisbehaviorAodv::packets_dropped() const {
+  return static_cast<std::uint64_t>(node_.world().metrics().counter(m_data_dropped_node_));
+}
+
+bool MisbehaviorAodv::active() const { return spec_.when.active_at(now()); }
+
+void MisbehaviorAodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
+  if (spec_.seq_inflation == 0 || !active()) {
+    Aodv::handle_rreq(rreq, from);
+    return;
+  }
+  if (rreq.orig == node_.id()) return;
+  if (!seen_rreqs_.emplace(rreq.orig, rreq.rreq_id).second) return;
+
+  // Keep the reverse route so the malicious RREP can travel back.
+  update_route(from, from, 1, 0, false);
+  update_route(rreq.orig, from, rreq.hop_count + 1, rreq.orig_seq, true);
+
+  // The black hole RREP: "I have a one-hop route to the destination, and it
+  // is fresher than anything you will ever hear" (Fig 6(e)). Sent raw —
+  // a compromised node does not submit itself to inner-circle voting — so
+  // guarded receivers will suppress it, while unguarded ones swallow it.
+  RrepMsg rrep;
+  rrep.dest = rreq.dest;
+  rrep.dest_seq = rreq.dest_seq + spec_.seq_inflation;
+  rrep.orig = rreq.orig;
+  rrep.hop_count = 1;
+
+  sim::Packet packet;
+  packet.src = node_.id();
+  packet.dst = rreq.orig;
+  packet.port = sim::Port::kAodv;
+  packet.size_bytes = RrepMsg::kWireSize;
+  packet.body = std::make_shared<RrepMsg>(rrep);
+  node_.world().metrics().add(m_rrep_forged_);
+  fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+  node_.link_send_unfiltered(std::move(packet), from);
+
+  if (spec_.forward_rreq) {
+    RreqMsg fwd = rreq;
+    fwd.hop_count += 1;
+    broadcast_rreq(fwd);
+  }
+}
+
+void MisbehaviorAodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
+  // Remember the last legitimate RREP that crossed this node: replay ammo.
+  if (spec_.replay_interval_s > 0.0) last_rrep_ = {rrep, from};
+  Aodv::handle_rrep(rrep, from);
+}
+
+void MisbehaviorAodv::forward_data(const sim::Packet& packet, const DataMsg& data) {
+  if (packet.src != node_.id() && active()) {
+    if (spec_.drop_prob > 0.0 && attack_rng_.chance(spec_.drop_prob)) {
+      node_.world().metrics().add(m_data_dropped_);
+      node_.world().metrics().add(m_data_dropped_node_);
+      fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+      return;
+    }
+    if (spec_.delay_s > 0.0) {
+      node_.world().stats().add("misbehavior.data_delayed");
+      fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+      node_.world().sched().schedule_in(
+          spec_.delay_s, [this, packet, data] { Aodv::forward_data(packet, data); },
+          sim::EventTag::kRouting);
+      return;
+    }
+  }
+  Aodv::forward_data(packet, data);
+}
+
+void MisbehaviorAodv::replay_tick() {
+  if (active() && last_rrep_ && !node_.down()) {
+    const auto& [rrep, from] = *last_rrep_;
+    sim::Packet packet;
+    packet.src = node_.id();
+    packet.dst = rrep.orig;
+    packet.port = sim::Port::kAodv;
+    packet.size_bytes = RrepMsg::kWireSize;
+    packet.body = std::make_shared<RrepMsg>(rrep);
+    node_.world().stats().add("misbehavior.rrep_replayed");
+    fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+    // Replays go raw like every malicious RREP: a guarded receiver's
+    // suppression of the stale copy is the neutralization we measure.
+    node_.link_send_unfiltered(std::move(packet), from);
+  }
+  node_.world().sched().schedule_in(spec_.replay_interval_s, [this] { replay_tick(); },
+                                    sim::EventTag::kRouting);
+}
+
+void MisbehaviorAodv::flood_tick() {
+  if (active() && !node_.down()) {
+    // A forged discovery for a (likely bogus) destination: every receiver
+    // refloods it, burning bandwidth and energy network-wide.
+    RreqMsg rreq;
+    rreq.orig = node_.id();
+    rreq.rreq_id = next_rreq_id_++;
+    rreq.orig_seq = own_seq_;
+    rreq.dest = static_cast<sim::NodeId>(attack_rng_.uniform_int(
+        0, static_cast<std::uint32_t>(node_.world().num_nodes() - 1)));
+    rreq.hop_count = 0;
+    node_.world().stats().add("misbehavior.rreq_flooded");
+    fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+    broadcast_rreq(rreq);
+  }
+  node_.world().sched().schedule_in(spec_.flood_interval_s, [this] { flood_tick(); },
+                                    sim::EventTag::kRouting);
+}
+
+}  // namespace icc::aodv

@@ -1,0 +1,46 @@
+// Insider protocol misbehavior (§5.1, generalized): one attacker
+// implementation driven by a declarative fault::ProtocolFault spec.
+//
+// The paper's black hole — advertise the freshest route to anything
+// (sequence-number inflation), then silently drop the attracted data — is
+// fault::black_hole(node); the gray hole is the same spec on a periodic
+// Schedule. The same machinery also expresses selective forwarding
+// (drop_prob < 1 without route attraction), data delay, RREP replay, and
+// RREQ flooding, so every §5.1-style adversary is a plan, not a subclass.
+#pragma once
+
+#include <optional>
+
+#include "aodv/aodv.hpp"
+#include "fault/plan.hpp"
+
+namespace icc::aodv {
+
+class MisbehaviorAodv final : public Aodv {
+ public:
+  MisbehaviorAodv(sim::Node& node, Params params, fault::ProtocolFault spec);
+
+  [[nodiscard]] const fault::ProtocolFault& spec() const noexcept { return spec_; }
+  /// Data packets this attacker dropped (from the interned per-node
+  /// counter, so the experiment tables and the coverage ledger agree).
+  [[nodiscard]] std::uint64_t packets_dropped() const;
+
+ protected:
+  void handle_rreq(const RreqMsg& rreq, sim::NodeId from) override;
+  void handle_rrep(const RrepMsg& rrep, sim::NodeId from) override;
+  void forward_data(const sim::Packet& packet, const DataMsg& data) override;
+
+ private:
+  [[nodiscard]] bool active() const;
+  void replay_tick();
+  void flood_tick();
+
+  fault::ProtocolFault spec_;
+  sim::Rng attack_rng_;
+  std::optional<std::pair<RrepMsg, sim::NodeId>> last_rrep_;  ///< replay ammo
+  sim::MetricId m_rrep_forged_;
+  sim::MetricId m_data_dropped_;
+  sim::MetricId m_data_dropped_node_;
+};
+
+}  // namespace icc::aodv

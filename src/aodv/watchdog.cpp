@@ -2,11 +2,17 @@
 
 #include <algorithm>
 
+#include "fault/ledger.hpp"
 #include "sim/world.hpp"
 
 namespace icc::aodv {
 
-Watchdog::Watchdog(Aodv& aodv, Params params) : aodv_{aodv}, params_{params} {
+Watchdog::Watchdog(Aodv& aodv, Params params)
+    : aodv_{aodv},
+      params_{params},
+      m_failures_{aodv.node().world().metrics().counter_id("watchdog.failures")},
+      m_blacklisted_{aodv.node().world().metrics().counter_id("watchdog.blacklisted")},
+      m_rrep_suppressed_{aodv.node().world().metrics().counter_id("watchdog.rrep_suppressed")} {
   sim::Node& node = aodv_.node();
 
   // Observe our own data transmissions that require onward forwarding.
@@ -24,7 +30,12 @@ Watchdog::Watchdog(Aodv& aodv, Params params) : aodv_{aodv}, params_{params} {
   // Pathrater: ignore route replies from blacklisted nodes.
   node.add_inbound_filter([this](const sim::Packet& packet, sim::NodeId from) {
     if (blacklist_.count(from) != 0 && packet.body_as<RrepMsg>() != nullptr) {
-      aodv_.node().world().stats().add("watchdog.rrep_suppressed");
+      sim::World& world = aodv_.node().world();
+      world.metrics().add(m_rrep_suppressed_);
+      // Ignoring a convicted node's route advertisement is the pathrater's
+      // neutralization: the attack was detected earlier, and this stops it
+      // from re-poisoning the route table.
+      fault::report_neutralized(world, fault::FaultClass::kProtocol, from);
       return sim::FilterVerdict::kDrop;
     }
     return sim::FilterVerdict::kPass;
@@ -61,7 +72,11 @@ void Watchdog::check_pending(std::uint64_t uid) {
 void Watchdog::charge_failure(sim::NodeId suspect) {
   sim::World& world = aodv_.node().world();
   ++failures_charged_;
-  world.stats().add("watchdog.failures");
+  world.metrics().add(m_failures_);
+  // A charged forwarding failure is a *detection* of the suspect's
+  // misbehavior (it may also fire on innocent collisions — the ledger's
+  // capped rows absorb that over-reporting).
+  fault::report_detected(world, fault::FaultClass::kProtocol, suspect);
   std::vector<sim::Time>& history = failures_[suspect];
   history.push_back(world.now());
   world.tracer().emit({world.now(), sim::TraceType::kWatchdogAccuse, aodv_.node().id(),
@@ -70,7 +85,7 @@ void Watchdog::charge_failure(sim::NodeId suspect) {
   std::erase_if(history, [horizon](sim::Time t) { return t < horizon; });
   if (static_cast<int>(history.size()) >= params_.tolerance &&
       blacklist_.insert(suspect).second) {
-    world.stats().add("watchdog.blacklisted");
+    world.metrics().add(m_blacklisted_);
     world.tracer().emit({world.now(), sim::TraceType::kWatchdogBlacklist, aodv_.node().id(),
                          suspect, 0, 0, static_cast<double>(history.size()), nullptr});
     aodv_.invalidate_routes_via(suspect);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "aodv/aodv.hpp"
+#include "sim/metrics.hpp"
 
 namespace icc::aodv {
 
@@ -55,6 +56,12 @@ class Watchdog {
   std::unordered_map<sim::NodeId, std::vector<sim::Time>> failures_;
   std::set<sim::NodeId> blacklist_;
   std::uint64_t failures_charged_{0};
+  // Interned once so the hot paths (every charge / suppressed RREP) skip the
+  // registry's name lookup, and so these counters share the registry that
+  // the coverage ledger and experiment tables read.
+  sim::MetricId m_failures_;
+  sim::MetricId m_blacklisted_;
+  sim::MetricId m_rrep_suppressed_;
 };
 
 }  // namespace icc::aodv

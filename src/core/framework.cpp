@@ -1,5 +1,6 @@
 #include "core/framework.hpp"
 
+#include "fault/ledger.hpp"
 #include "sim/world.hpp"
 
 namespace icc::core {
@@ -74,6 +75,7 @@ sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
     node_.world().stats().add("icc.suppressed_convicted");
     node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
                                  packet.uid, packet.size_bytes, 0.0, "suppressed_convicted"});
+    fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from);
     return sim::FilterVerdict::kDrop;
   }
   const bool suspected = suspicions_.suspected(from, now);
@@ -90,6 +92,13 @@ sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
       node_.world().stats().add("icc.suppressed_raw");
       node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
                                    packet.uid, packet.size_bytes, 0.0, "suppressed_raw"});
+      // Discarding the raw template message is both the detection (the
+      // template violation is the observed symptom) and the masking
+      // neutralization (§3): a forged RREP never reaches the routing
+      // service. Attributed to the sender — for the black hole that is the
+      // attacker itself.
+      fault::report_detected(node_.world(), fault::FaultClass::kProtocol, from);
+      fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from);
       return sim::FilterVerdict::kDrop;
     }
   }

@@ -1,0 +1,164 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/ledger.hpp"
+#include "sim/check.hpp"
+#include "sim/world.hpp"
+
+namespace icc::fault {
+
+namespace {
+constexpr std::uint64_t kChannelRngSalt = 0xFA171C00ull;  // "FAULTCH"
+constexpr double kMinBurstMean = 1e-6;  ///< guards exponential() against /0
+/// Edge events fire this far *after* the schedule boundary. Firing exactly
+/// on it is a floating-point trap: the event can land a few ulps before the
+/// boundary, observe the pre-toggle state, and re-schedule itself onto the
+/// same boundary forever. One nanosecond late is semantically invisible and
+/// puts the event strictly past the boundary, so the chain always advances
+/// by a full schedule segment.
+constexpr double kEdgeDelay = 1e-9;
+}  // namespace
+
+InjectionEngine::InjectionEngine(sim::World& world, FaultPlan plan)
+    : world_{world},
+      plan_{std::move(plan)},
+      // Fork only when channel specs exist: an engine over a channel-free
+      // plan must leave the world's RNG genealogy untouched.
+      channel_rng_{plan_.channel.empty() ? sim::Rng{0} : world.fork_rng(kChannelRngSalt)} {
+  if (!plan_.channel.empty()) {
+    burst_.resize(plan_.channel.size());
+    world_.medium().set_delivery_filter(
+        [this](const sim::Frame& frame, sim::NodeId rx, sim::Time now) {
+          return on_delivery(frame, rx, now);
+        });
+  }
+
+  bool any_slow = false;
+  for (std::size_t i = 0; i < plan_.node.size(); ++i) {
+    const NodeFault& spec = plan_.node[i];
+    ICC_ASSERT(spec.node < world_.num_nodes(), "a node fault must address an existing node");
+    if (spec.down.kind() != Schedule::Kind::kNever) {
+      apply_down(i);
+      schedule_down_edges(i);
+    }
+    if (spec.timer_slow_factor > 1.0 && spec.slow.kind() != Schedule::Kind::kNever) {
+      any_slow = true;
+      apply_slow(i);
+      schedule_slow_edges(i);
+    }
+  }
+  if (any_slow) {
+    world_.sched().set_timer_warp([this](sim::Time now, double dt, sim::EventTag tag) {
+      // MAC and mobility obey the channel's physics; kGeneric carries the
+      // engine's own edge events. Only protocol-level timers stretch.
+      switch (tag) {
+        case sim::EventTag::kRouting:
+        case sim::EventTag::kTraffic:
+        case sim::EventTag::kVoting:
+        case sim::EventTag::kSensor:
+          break;
+        default:
+          return dt;
+      }
+      double factor = 1.0;
+      for (const NodeFault& spec : plan_.node) {
+        if (spec.timer_slow_factor > 1.0 && spec.slow.active_at(now)) {
+          factor = std::max(factor, spec.timer_slow_factor);
+        }
+      }
+      return dt * factor;
+    });
+  }
+}
+
+InjectionEngine::~InjectionEngine() {
+  // The scheduled edge events capture `this`; they are only reachable
+  // through the world's scheduler, which a caller destroying the engine
+  // first must no longer run. The std::function hooks do outlive runs, so
+  // clear them.
+  if (!plan_.channel.empty()) world_.medium().set_delivery_filter(nullptr);
+  world_.sched().set_timer_warp(nullptr);
+}
+
+bool InjectionEngine::burst_bad(std::size_t spec, sim::Time now) {
+  const ChannelFault& f = plan_.channel[spec];
+  BurstState& b = burst_[spec];
+  if (!b.started) {
+    b.started = true;
+    b.bad = false;
+    b.until = now + channel_rng_.exponential(std::max(f.mean_good_s, kMinBurstMean));
+  }
+  while (b.until <= now) {
+    b.bad = !b.bad;
+    b.until += channel_rng_.exponential(
+        std::max(b.bad ? f.mean_bad_s : f.mean_good_s, kMinBurstMean));
+  }
+  return b.bad;
+}
+
+sim::DeliveryVerdict InjectionEngine::on_delivery(const sim::Frame& frame, sim::NodeId rx,
+                                                 sim::Time now) {
+  for (std::size_t i = 0; i < plan_.channel.size(); ++i) {
+    const ChannelFault& f = plan_.channel[i];
+    if (f.tx != sim::kNoNode && f.tx != frame.tx) continue;
+    if (f.rx != sim::kNoNode && f.rx != rx) continue;
+    if (!f.when.active_at(now)) continue;
+    const bool lost = (f.mean_bad_s > 0.0 && burst_bad(i, now)) ||
+                      (f.loss_prob > 0.0 && channel_rng_.chance(f.loss_prob));
+    if (lost) {
+      report_injected(world_, FaultClass::kChannel, rx);
+      // A lost unicast frame starves the sender's ack machinery, which
+      // retries and ultimately reports the failure: detected. A lost
+      // broadcast vanishes without a witness: escaped.
+      if (frame.rx != sim::kBroadcast) {
+        report_detected(world_, FaultClass::kChannel, frame.tx);
+      }
+      return sim::DeliveryVerdict::kDrop;
+    }
+    const bool damaged = (f.bitflip_prob > 0.0 && channel_rng_.chance(f.bitflip_prob)) ||
+                         (f.truncate_prob > 0.0 && channel_rng_.chance(f.truncate_prob));
+    if (damaged) {
+      report_injected(world_, FaultClass::kChannel, rx);
+      // The CRC catches damaged payloads at the end of the reception.
+      report_detected(world_, FaultClass::kChannel, rx);
+      return sim::DeliveryVerdict::kCorrupt;
+    }
+  }
+  return sim::DeliveryVerdict::kDeliver;
+}
+
+void InjectionEngine::apply_down(std::size_t spec) {
+  const NodeFault& f = plan_.node[spec];
+  const bool want_down = f.down.active_at(world_.now());
+  sim::Node& node = world_.node(f.node);
+  if (want_down == node.down()) return;
+  node.set_down(want_down);
+  if (want_down) report_injected(world_, FaultClass::kNode, f.node);
+}
+
+void InjectionEngine::schedule_down_edges(std::size_t spec) {
+  const sim::Time next = plan_.node[spec].down.next_transition(world_.now());
+  if (std::isinf(next)) return;
+  world_.sched().schedule_at(next + kEdgeDelay, [this, spec] {
+    apply_down(spec);
+    schedule_down_edges(spec);
+  });
+}
+
+void InjectionEngine::apply_slow(std::size_t spec) {
+  const NodeFault& f = plan_.node[spec];
+  if (f.slow.active_at(world_.now())) report_injected(world_, FaultClass::kNode, f.node);
+}
+
+void InjectionEngine::schedule_slow_edges(std::size_t spec) {
+  const sim::Time next = plan_.node[spec].slow.next_transition(world_.now());
+  if (std::isinf(next)) return;
+  world_.sched().schedule_at(next + kEdgeDelay, [this, spec] {
+    apply_slow(spec);
+    schedule_slow_edges(spec);
+  });
+}
+
+}  // namespace icc::fault

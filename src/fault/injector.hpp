@@ -1,0 +1,83 @@
+// The injection engine: turns the channel and node specs of a FaultPlan
+// into live hooks on a world.
+//
+//   ChannelFault -> Medium delivery filter (per-receiver loss / burst loss /
+//                   payload corruption), drawing from one dedicated Rng
+//                   stream forked off the world seed
+//   NodeFault    -> scheduled crash/recover edges on Node::set_down, plus a
+//                   Scheduler timer warp stretching protocol timers while a
+//                   slow-timer window is active
+//
+// Protocol and sensor specs are *not* the engine's job: insider misbehavior
+// needs protocol context (MisbehaviorAodv consumes ProtocolFault specs) and
+// sensor faults live in the measurement path (SensorApp consumes
+// SensorFault specs). Experiments hand the same plan to all three, so one
+// FaultPlan describes the whole adversary.
+//
+// Determinism: the engine forks exactly one RNG stream, and only when the
+// plan has channel specs; a plan without channel/node faults installs no
+// hooks at all. Running with an empty plan is therefore bit-identical to
+// not constructing an engine.
+//
+// Ledger semantics (see ledger.hpp):
+//   lost frame        injected(channel @ receiver); detected(channel @
+//                     sender) when the frame was unicast — the ack machinery
+//                     notices, retries, and eventually reports the failure —
+//                     while a lost broadcast escapes silently
+//   corrupted frame   injected + detected (channel @ receiver): the CRC
+//                     catches it at the end of the reception, always
+//   crash edge        injected(node); detection comes from the protocols
+//                     (AODV link-failure handling) when traffic notices
+//   slow-timer edge   injected(node); granularity is the world's protocol
+//                     timers (the scheduler does not know which node an
+//                     event belongs to), attribution is to the spec's node
+#pragma once
+
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "sim/medium.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sim {
+class World;
+}  // namespace icc::sim
+
+namespace icc::fault {
+
+class InjectionEngine {
+ public:
+  /// Installs hooks for `plan` on `world`. Construct after every node has
+  /// been added (node specs address nodes by id) and keep alive until the
+  /// run ends; the destructor removes the hooks.
+  InjectionEngine(sim::World& world, FaultPlan plan);
+  ~InjectionEngine();
+
+  InjectionEngine(const InjectionEngine&) = delete;
+  InjectionEngine& operator=(const InjectionEngine&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct BurstState {
+    bool started{false};
+    bool bad{false};
+    sim::Time until{0.0};
+  };
+
+  [[nodiscard]] sim::DeliveryVerdict on_delivery(const sim::Frame& frame, sim::NodeId rx,
+                                                 sim::Time now);
+  [[nodiscard]] bool burst_bad(std::size_t spec, sim::Time now);
+  void apply_down(std::size_t spec);
+  void schedule_down_edges(std::size_t spec);
+  void apply_slow(std::size_t spec);
+  void schedule_slow_edges(std::size_t spec);
+
+  sim::World& world_;
+  FaultPlan plan_;
+  sim::Rng channel_rng_;
+  std::vector<BurstState> burst_;
+};
+
+}  // namespace icc::fault

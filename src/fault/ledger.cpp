@@ -1,0 +1,124 @@
+#include "fault/ledger.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "sim/report.hpp"
+#include "sim/world.hpp"
+
+namespace icc::fault {
+
+namespace {
+
+constexpr const char* kStageNames[] = {"injected", "detected", "neutralized"};
+enum Stage : std::size_t { kInjected = 0, kDetected = 1, kNeutralized = 2 };
+
+std::string stage_counter_name(FaultClass c, Stage stage) {
+  std::string name = "fault.";
+  name += fault_class_name(c);
+  name += '.';
+  name += kStageNames[stage];
+  return name;
+}
+
+void report(sim::World& world, FaultClass c, sim::NodeId node, Stage stage,
+            sim::TraceType type) {
+  auto& metrics = world.metrics();
+  const std::string base = stage_counter_name(c, stage);
+  metrics.add(metrics.counter_id(base));
+  if (node != sim::kNoNode) metrics.add(metrics.node_counter_id(base, node));
+  world.tracer().emit({world.now(), type, node, sim::kNoNode, 0, 0, 0.0,
+                       fault_class_name(c)});
+}
+
+}  // namespace
+
+const char* fault_class_name(FaultClass c) noexcept {
+  switch (c) {
+    case FaultClass::kChannel:
+      return "channel";
+    case FaultClass::kNode:
+      return "node";
+    case FaultClass::kProtocol:
+      return "protocol";
+    case FaultClass::kSensor:
+      return "sensor";
+    case FaultClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+void report_injected(sim::World& world, FaultClass c, sim::NodeId node) {
+  report(world, c, node, kInjected, sim::TraceType::kFaultInjected);
+}
+
+void report_detected(sim::World& world, FaultClass c, sim::NodeId node) {
+  report(world, c, node, kDetected, sim::TraceType::kFaultDetected);
+}
+
+void report_neutralized(sim::World& world, FaultClass c, sim::NodeId node) {
+  report(world, c, node, kNeutralized, sim::TraceType::kFaultNeutralized);
+}
+
+CoverageRow CoverageLedger::row(FaultClass c) const {
+  const auto& metrics = world_.metrics();
+  const auto raw = [&](Stage stage) {
+    return static_cast<std::uint64_t>(metrics.counter_value(stage_counter_name(c, stage)));
+  };
+  CoverageRow r;
+  r.injected = raw(kInjected);
+  r.detected = std::min(raw(kDetected), r.injected);
+  r.neutralized = std::min(raw(kNeutralized), r.detected);
+  r.escaped = r.injected - r.detected;
+  return r;
+}
+
+std::array<CoverageRow, kNumFaultClasses> CoverageLedger::rows() const {
+  std::array<CoverageRow, kNumFaultClasses> out{};
+  for (std::size_t c = 0; c < kNumFaultClasses; ++c) out[c] = row(static_cast<FaultClass>(c));
+  return out;
+}
+
+bool CoverageLedger::consistent() const {
+  for (std::size_t ci = 0; ci < kNumFaultClasses; ++ci) {
+    const auto c = static_cast<FaultClass>(ci);
+    for (const Stage stage : {kInjected, kDetected, kNeutralized}) {
+      const std::string base = stage_counter_name(c, stage);
+      const std::string node_prefix = base + ".n";
+      double node_sum = 0.0;
+      bool any_node = false;
+      world_.metrics().for_each_counter([&](const std::string& name, double value) {
+        if (name.size() > node_prefix.size() &&
+            std::string_view{name}.substr(0, node_prefix.size()) == node_prefix) {
+          node_sum += value;
+          any_node = true;
+        }
+      });
+      // Every per-node increment also bumps the class total, so the split
+      // counters must sum to it exactly (reports with node == kNoNode have
+      // no per-node part and only show up when nothing was attributed).
+      if (any_node && node_sum != world_.metrics().counter_value(base)) return false;
+    }
+    const CoverageRow r = row(c);
+    if (r.injected != r.detected + r.escaped) return false;
+    if (r.neutralized > r.detected) return false;
+  }
+  return true;
+}
+
+void CoverageLedger::add_to_report(sim::RunReport& report) const {
+  for (std::size_t ci = 0; ci < kNumFaultClasses; ++ci) {
+    const auto c = static_cast<FaultClass>(ci);
+    const CoverageRow r = row(c);
+    std::string base = "fault.";
+    base += fault_class_name(c);
+    base += ".coverage.";
+    report.add_gauge(base + "injected", static_cast<double>(r.injected));
+    report.add_gauge(base + "detected", static_cast<double>(r.detected));
+    report.add_gauge(base + "neutralized", static_cast<double>(r.neutralized));
+    report.add_gauge(base + "escaped", static_cast<double>(r.escaped));
+  }
+}
+
+}  // namespace icc::fault

@@ -1,0 +1,156 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+
+#include "sim/rng.hpp"
+
+namespace icc::fault {
+
+std::string FaultPlan::summary() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%zuch %zund %zupr %zusn", channel.size(), node.size(),
+                protocol.size(), sensor.size());
+  return buf;
+}
+
+ProtocolFault black_hole(sim::NodeId node) {
+  ProtocolFault f;
+  f.node = node;
+  f.seq_inflation = 1'000'000;
+  f.drop_prob = 1.0;
+  return f;
+}
+
+ProtocolFault gray_hole(sim::NodeId node, sim::Time on, sim::Time off) {
+  ProtocolFault f = black_hole(node);
+  f.when = Schedule::periodic(on, off);
+  return f;
+}
+
+FaultPlan black_hole_plan(int num_attackers) {
+  FaultPlan plan;
+  for (int i = 0; i < num_attackers; ++i) {
+    plan.protocol.push_back(black_hole(static_cast<sim::NodeId>(i)));
+  }
+  return plan;
+}
+
+FaultPlan gray_hole_plan(int num_attackers, sim::Time on, sim::Time off) {
+  FaultPlan plan;
+  for (int i = 0; i < num_attackers; ++i) {
+    plan.protocol.push_back(gray_hole(static_cast<sim::NodeId>(i), on, off));
+  }
+  return plan;
+}
+
+namespace {
+
+Schedule random_schedule(sim::Rng& rng, sim::Time sim_time) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      return Schedule::always();
+    case 1: {
+      const sim::Time on = rng.uniform(0.05, 0.4) * sim_time;
+      const sim::Time off = rng.uniform(0.05, 0.4) * sim_time;
+      return Schedule::periodic(on, off, rng.uniform(0.0, 0.2) * sim_time);
+    }
+    default: {
+      const sim::Time start = rng.uniform(0.0, 0.6) * sim_time;
+      return Schedule::window(start, start + rng.uniform(0.1, 0.4) * sim_time);
+    }
+  }
+}
+
+sim::NodeId random_node(sim::Rng& rng, const RandomPlanParams& p) {
+  return static_cast<sim::NodeId>(
+      rng.uniform_int(0, static_cast<std::uint32_t>(p.num_nodes - 1)));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::randomized(std::uint64_t seed, const RandomPlanParams& params) {
+  sim::Rng rng{seed};
+  FaultPlan plan;
+
+  const int n_channel = static_cast<int>(
+      rng.uniform_int(0, static_cast<std::uint32_t>(params.max_channel)));
+  for (int i = 0; i < n_channel; ++i) {
+    ChannelFault f;
+    // Half the specs are directional (one wildcard side): asymmetric links.
+    if (rng.chance(0.5)) {
+      f.tx = random_node(rng, params);
+    } else {
+      f.rx = random_node(rng, params);
+    }
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        f.loss_prob = rng.uniform(0.05, 0.6);
+        break;
+      case 1:
+        f.mean_good_s = rng.uniform(0.5, 3.0);
+        f.mean_bad_s = rng.uniform(0.1, 1.0);
+        break;
+      default:
+        f.bitflip_prob = rng.uniform(0.05, 0.4);
+        f.truncate_prob = rng.uniform(0.0, 0.2);
+        break;
+    }
+    f.when = random_schedule(rng, params.sim_time);
+    plan.channel.push_back(f);
+  }
+
+  const int n_node = static_cast<int>(
+      rng.uniform_int(0, static_cast<std::uint32_t>(params.max_node)));
+  for (int i = 0; i < n_node; ++i) {
+    NodeFault f;
+    f.node = random_node(rng, params);
+    if (rng.chance(0.7)) {
+      // Crash somewhere in the run, recover with probability 1/2.
+      const sim::Time crash = rng.uniform(0.1, 0.8) * params.sim_time;
+      f.down = rng.chance(0.5)
+                   ? Schedule::window(crash, crash + rng.uniform(0.1, 0.5) * params.sim_time)
+                   : Schedule::after(crash);
+    } else {
+      f.timer_slow_factor = rng.uniform(2.0, 10.0);
+      f.slow = random_schedule(rng, params.sim_time);
+    }
+    plan.node.push_back(f);
+  }
+
+  const int n_protocol = static_cast<int>(
+      rng.uniform_int(0, static_cast<std::uint32_t>(params.max_protocol)));
+  for (int i = 0; i < n_protocol; ++i) {
+    ProtocolFault f;
+    f.node = random_node(rng, params);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        f = black_hole(f.node);
+        break;
+      case 1:  // selective forwarder, no route attraction
+        f.drop_prob = rng.uniform(0.2, 1.0);
+        break;
+      case 2:
+        f.replay_interval_s = rng.uniform(0.5, 3.0);
+        break;
+      default:
+        f.flood_interval_s = rng.uniform(0.2, 2.0);
+        break;
+    }
+    f.when = random_schedule(rng, params.sim_time);
+    plan.protocol.push_back(f);
+  }
+
+  const int n_sensor = static_cast<int>(
+      rng.uniform_int(0, static_cast<std::uint32_t>(params.max_sensor)));
+  for (int i = 0; i < n_sensor; ++i) {
+    SensorFault f;
+    f.node = random_node(rng, params);
+    f.type = static_cast<SensorFaultType>(rng.uniform_int(1, 4));
+    f.when = random_schedule(rng, params.sim_time);
+    plan.sensor.push_back(f);
+  }
+
+  return plan;
+}
+
+}  // namespace icc::fault

@@ -1,0 +1,125 @@
+// Declarative fault plans: WHAT goes wrong, WHERE, and WHEN — separated
+// from the injection machinery (injector.hpp) that makes it happen.
+//
+// A FaultPlan is plain data: four vectors of typed specs, one per fault
+// class. Experiments construct plans directly (or via the black_hole /
+// gray_hole helpers that reproduce the paper's §5.1 attackers), campaigns
+// vary them as grid axes, and the chaos soak draws seeded random plans from
+// FaultPlan::randomized. Because a plan is data, the same plan can be
+// attached to any experiment and serialized into its report metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/schedule.hpp"
+#include "fault/sensor_fault.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sim {
+class Rng;
+}  // namespace icc::sim
+
+namespace icc::fault {
+
+/// Link-level fault on the path tx -> rx. kNoNode on either side is a
+/// wildcard, so {tx=3, rx=kNoNode} degrades everything node 3 sends while
+/// {tx=kNoNode, rx=3} degrades everything node 3 hears — an asymmetric
+/// link is one directional spec without its mirror.
+struct ChannelFault {
+  sim::NodeId tx{sim::kNoNode};
+  sim::NodeId rx{sim::kNoNode};
+  double loss_prob{0.0};      ///< independent Bernoulli frame loss
+  /// Burst (Gilbert-Elliott) loss: alternate good/bad periods with the
+  /// given mean durations (seconds, exponentially distributed); every frame
+  /// arriving during a bad period is lost. Zero mean_bad_s disables bursts.
+  double mean_good_s{0.0};
+  double mean_bad_s{0.0};
+  double bitflip_prob{0.0};   ///< payload damage: delivered but CRC-dead
+  double truncate_prob{0.0};  ///< cut short on the air: same receiver fate
+  Schedule when{Schedule::always()};
+};
+
+/// Whole-node fault: crash/recover churn and/or slowed protocol timers.
+struct NodeFault {
+  sim::NodeId node{sim::kNoNode};
+  /// The node is down (crashed) whenever this schedule is active.
+  Schedule down{Schedule::never()};
+  /// While `slow` is active, the node's routing/traffic/voting/sensor
+  /// timers stretch by this factor (a stuck timer is a large factor). MAC
+  /// and mobility timing stay untouched: a slow *process* still obeys the
+  /// channel's physics.
+  double timer_slow_factor{1.0};
+  Schedule slow{Schedule::never()};
+};
+
+/// Insider misbehavior of an AODV node (§5.1 generalized): any combination
+/// of route-attraction (seq_inflation), data-plane drops or delays,
+/// RREP replay, and RREQ flooding, gated on one schedule. The paper's black
+/// hole is {seq_inflation, drop_prob 1, always}; the gray hole is the same
+/// with a periodic schedule.
+struct ProtocolFault {
+  sim::NodeId node{sim::kNoNode};
+  std::uint32_t seq_inflation{0};  ///< >0: forge a fresher-than-anything RREP
+  double drop_prob{0.0};           ///< selective forwarding (1.0 = drop all)
+  bool forward_rreq{false};        ///< stealthier if true (also re-floods)
+  sim::Time delay_s{0.0};          ///< hold attracted data this long instead
+                                   ///  of forwarding it promptly
+  sim::Time replay_interval_s{0.0};  ///< >0: re-send the last overheard RREP
+                                     ///  raw every interval (replay attack)
+  sim::Time flood_interval_s{0.0};   ///< >0: forge a broadcast RREQ every
+                                     ///  interval (resource-consumption DoS)
+  Schedule when{Schedule::always()};
+};
+
+/// A faulty sensor (§5.2): one of the paper's four measurement fault models.
+struct SensorFault {
+  sim::NodeId node{sim::kNoNode};
+  SensorFaultType type{SensorFaultType::kNone};
+  SensorFaultParams params{};
+  Schedule when{Schedule::always()};
+};
+
+/// Bounds for FaultPlan::randomized. Node ids are drawn from [0, num_nodes);
+/// schedules from {always, periodic, window} with durations up to sim_time.
+struct RandomPlanParams {
+  int num_nodes{16};
+  sim::Time sim_time{15.0};
+  int max_channel{2};
+  int max_node{2};
+  int max_protocol{2};
+  int max_sensor{2};
+};
+
+struct FaultPlan {
+  std::vector<ChannelFault> channel;
+  std::vector<NodeFault> node;
+  std::vector<ProtocolFault> protocol;
+  std::vector<SensorFault> sensor;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return channel.empty() && node.empty() && protocol.empty() && sensor.empty();
+  }
+
+  /// One-line summary ("2ch 1nd 1pr 0sn") for logs and report metadata.
+  [[nodiscard]] std::string summary() const;
+
+  /// Seeded random plan for the chaos soak: same seed, same plan, always.
+  /// Draws from a private Rng stream, so generation cannot perturb the
+  /// experiment that later runs the plan.
+  [[nodiscard]] static FaultPlan randomized(std::uint64_t seed, const RandomPlanParams& params);
+};
+
+/// The paper's black hole: inflate sequence numbers to attract routes, drop
+/// every attracted data packet (§5.1, Fig 6(e)).
+[[nodiscard]] ProtocolFault black_hole(sim::NodeId node);
+/// Gray hole: a black hole with a periodic duty cycle (attack `on` seconds,
+/// behave `off` seconds). Non-positive `on` degenerates to the black hole.
+[[nodiscard]] ProtocolFault gray_hole(sim::NodeId node, sim::Time on, sim::Time off);
+
+/// Plans for the Fig 7 scenario: nodes 0..m-1 are attackers.
+[[nodiscard]] FaultPlan black_hole_plan(int num_attackers);
+[[nodiscard]] FaultPlan gray_hole_plan(int num_attackers, sim::Time on, sim::Time off);
+
+}  // namespace icc::fault

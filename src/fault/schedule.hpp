@@ -1,0 +1,114 @@
+// When is a fault active? Every injector gates on a Schedule, which unifies
+// the time-window math that used to be hand-rolled per attacker (the gray
+// hole duty cycle in the old BlackholeAodv, one-shot crashes in tests, ...).
+//
+// Four kinds cover the paper's scenarios and the chaos harness:
+//   always / never   degenerate schedules (black hole, disabled spec)
+//   periodic         on for `on`, off for `off`, repeating (gray hole §5.1)
+//   window           active in [start, end) — one-shot faults and crashes
+//
+// Schedules are pure value types: `active_at` is a function of simulated
+// time only, so evaluating one never draws randomness or mutates state.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "sim/types.hpp"
+
+namespace icc::fault {
+
+class Schedule {
+ public:
+  enum class Kind : unsigned char { kAlways, kNever, kPeriodic, kWindow };
+
+  /// Active at every instant (the plain black hole).
+  static Schedule always() { return Schedule{Kind::kAlways}; }
+  /// Never active (a disabled spec).
+  static Schedule never() { return Schedule{Kind::kNever}; }
+  /// Gray-hole duty cycle: active for `on`, quiet for `off`, repeating,
+  /// first activation at `phase`. A non-positive `on` means "always", which
+  /// preserves the old BlackholeAodv convention (on_period 0 == black hole).
+  static Schedule periodic(sim::Time on, sim::Time off, sim::Time phase = 0.0) {
+    if (on <= 0.0) return always();
+    Schedule s{Kind::kPeriodic};
+    s.on_ = on;
+    s.off_ = off;
+    s.phase_ = phase;
+    return s;
+  }
+  /// Active in [start, end).
+  static Schedule window(sim::Time start, sim::Time end) {
+    Schedule s{Kind::kWindow};
+    s.phase_ = start;
+    s.on_ = end - start;
+    return s;
+  }
+  /// Active from `start` onward.
+  static Schedule after(sim::Time start) {
+    return window(start, std::numeric_limits<sim::Time>::infinity());
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  [[nodiscard]] bool active_at(sim::Time t) const {
+    switch (kind_) {
+      case Kind::kAlways:
+        return true;
+      case Kind::kNever:
+        return false;
+      case Kind::kPeriodic: {
+        const sim::Time u = t - phase_;
+        if (u < 0.0) return false;
+        return std::fmod(u, on_ + off_) < on_;
+      }
+      case Kind::kWindow:
+        return t >= phase_ && t < phase_ + on_;
+    }
+    return false;
+  }
+
+  /// First time strictly after `t` at which active_at changes value;
+  /// +infinity when the schedule is constant from `t` on. Drives the churn
+  /// injector's edge events, so toggles fire exactly at boundaries instead
+  /// of being polled.
+  [[nodiscard]] sim::Time next_transition(sim::Time t) const {
+    constexpr sim::Time kInf = std::numeric_limits<sim::Time>::infinity();
+    switch (kind_) {
+      case Kind::kAlways:
+      case Kind::kNever:
+        return kInf;
+      case Kind::kPeriodic: {
+        const sim::Time u = t - phase_;
+        if (u < 0.0) return phase_;
+        const sim::Time cycle = on_ + off_;
+        const sim::Time r = std::fmod(u, cycle);
+        sim::Time next = t + (r < on_ ? on_ - r : cycle - r);
+        // When `t` sits on a boundary, fmod rounding can put r a few ulps
+        // *before* it and collapse `next` onto t — violating the
+        // strictly-after contract (and, for a caller chaining edge events,
+        // looping forever on one boundary). The transition after a boundary
+        // is always one full segment away.
+        if (next <= t) next = t + (r < on_ ? off_ : on_);
+        return next;
+      }
+      case Kind::kWindow: {
+        if (std::isinf(on_)) return t < phase_ ? phase_ : kInf;
+        if (t < phase_) return phase_;
+        if (t < phase_ + on_) return phase_ + on_;
+        return kInf;
+      }
+    }
+    return kInf;
+  }
+
+ private:
+  explicit Schedule(Kind kind) : kind_{kind} {}
+
+  Kind kind_{Kind::kAlways};
+  sim::Time on_{0.0};     // periodic: on-period; window: length
+  sim::Time off_{0.0};    // periodic only
+  sim::Time phase_{0.0};  // periodic: first activation; window: start
+};
+
+}  // namespace icc::fault

@@ -1,0 +1,65 @@
+// The paper's four sensor fault models (§5.2), lifted out of
+// sensor/field.hpp so they are injectors like every other fault class
+// rather than a special case wired into the sensing physics.
+//
+// A faulty measurement is a pure function of the clean signal s, the squared
+// noise draw n^2, and the fault parameters — the field samples the physics,
+// the fault transforms the result. Position error is the exception: it
+// corrupts the *reported location*, not the energy, so apply_sensor_fault
+// leaves the value untouched and the sensor app substitutes a random
+// position instead.
+#pragma once
+
+#include <cstdint>
+
+namespace icc::fault {
+
+enum class SensorFaultType : std::uint8_t {
+  kNone = 0,
+  kStuckAtZero,
+  kCalibration,    ///< E = eps_clbr * (S + N^2)
+  kInterference,   ///< E = S + eps_intf * N^2
+  kPositionError,  ///< reported position ~ Uniform(region)
+};
+
+struct SensorFaultParams {
+  double eps_clbr{2.0};
+  double eps_intf{10.0};
+};
+
+[[nodiscard]] constexpr const char* sensor_fault_name(SensorFaultType f) {
+  switch (f) {
+    case SensorFaultType::kNone:
+      return "no-fault";
+    case SensorFaultType::kStuckAtZero:
+      return "stuck-at-zero";
+    case SensorFaultType::kCalibration:
+      return "calibration";
+    case SensorFaultType::kInterference:
+      return "interference";
+    case SensorFaultType::kPositionError:
+      return "position";
+  }
+  return "?";
+}
+
+/// Transform a clean measurement (signal s plus squared noise n2) per the
+/// paper's formulas. Exactly the arithmetic TargetField::sample used to
+/// inline, so measurements are bit-identical across the refactor.
+[[nodiscard]] constexpr double apply_sensor_fault(SensorFaultType fault, double s, double n2,
+                                                  const SensorFaultParams& params) {
+  switch (fault) {
+    case SensorFaultType::kNone:
+    case SensorFaultType::kPositionError:  // affects the reported position, not E
+      return s + n2;
+    case SensorFaultType::kStuckAtZero:
+      return 0.0;
+    case SensorFaultType::kCalibration:
+      return params.eps_clbr * (s + n2);
+    case SensorFaultType::kInterference:
+      return s + params.eps_intf * n2;
+  }
+  return s + n2;
+}
+
+}  // namespace icc::fault

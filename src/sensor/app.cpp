@@ -1,5 +1,6 @@
 #include "sensor/app.hpp"
 
+#include "fault/ledger.hpp"
 #include "sim/world.hpp"
 
 namespace icc::sensor {
@@ -29,10 +30,23 @@ SensorApp::SensorApp(sim::Node& node, Diffusion& diffusion, const TargetField& f
                                     [this] { sample_tick(); }, sim::EventTag::kSensor);
 }
 
+double SensorApp::measure(sim::Time t) {
+  const FaultType fault =
+      params_.fault != FaultType::kNone && params_.fault_when.active_at(t)
+          ? params_.fault
+          : FaultType::kNone;
+  // The clean path samples through the same call so the RNG draw count is
+  // identical whether or not a fault (or its schedule) is live.
+  const double energy = field_.sample(node_.position(), t, fault, params_.fault_params, rng_);
+  if (fault != FaultType::kNone) {
+    fault::report_injected(node_.world(), fault::FaultClass::kSensor, node_.id());
+  }
+  return energy;
+}
+
 void SensorApp::sample_tick() {
   const sim::Time t = node_.world().now();
-  const double energy =
-      field_.sample(node_.position(), t, params_.fault, params_.fault_params, rng_);
+  const double energy = measure(t);
   latest_ = Reading{t, energy, reported_pos_};
   has_reading_ = true;
   node_.world().stats().add("sensor.samples");
@@ -74,8 +88,7 @@ void SensorApp::install_callbacks() {
     const auto center_reading = Reading::deserialize(topic);
     if (!center_reading) return std::nullopt;
     const sim::Time t = node_.world().now();
-    const double energy =
-        field_.sample(node_.position(), t, params_.fault, params_.fault_params, rng_);
+    const double energy = measure(t);
     node_.world().stats().add("sensor.ondemand_samples");
     if (energy <= field_.model().lambda) return std::nullopt;
     return Reading{t, energy, reported_pos_}.serialize();
@@ -89,7 +102,19 @@ void SensorApp::install_callbacks() {
     for (const auto& [id, bytes] : values) {
       if (const auto r = Reading::deserialize(bytes)) readings.emplace_back(id, *r);
     }
-    return fuse_readings(field_.model(), readings, params_.fusion).serialize();
+    // Readings the FT-cluster refinement rejects are *detected* sensor
+    // faults, attributed to the contributing sensor. Validators recompute
+    // the fusion, so a rejection can be reported by several circle members;
+    // the ledger's capped rows absorb that multiplicity.
+    std::vector<sim::NodeId> rejected;
+    const FusedNotification fused =
+        fuse_readings(field_.model(), readings, params_.fusion, &rejected);
+    for (const sim::NodeId id : rejected) {
+      node_.world().stats().add("sensor.readings_rejected");
+      fault::report_detected(node_.world(), fault::FaultClass::kSensor, id);
+    }
+    last_fused_dropped_ = std::move(rejected);
+    return fused.serialize();
   };
 
   // check: the fused notification must describe a physically consistent
@@ -105,6 +130,13 @@ void SensorApp::install_callbacks() {
   cb.on_agreed = [this](const core::AgreedMsg& msg, bool is_center) {
     last_agreed_seen_ = node_.world().now();
     if (is_center) {
+      // The agreed notification excludes the readings our fusion rejected:
+      // those faults were masked, which is the neutralization the ledger
+      // tracks. Only the center reports (its fusion is the accepted one).
+      for (const sim::NodeId id : last_fused_dropped_) {
+        fault::report_neutralized(node_.world(), fault::FaultClass::kSensor, id);
+      }
+      last_fused_dropped_.clear();
       node_.world().stats().add("sensor.notifications");
       diffusion_.send_to_sink(msg.serialize());
     }

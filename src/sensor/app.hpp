@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "core/framework.hpp"
+#include "fault/schedule.hpp"
 #include "sensor/diffusion.hpp"
 #include "sensor/field.hpp"
 #include "sensor/fusion_rules.hpp"
@@ -30,6 +31,10 @@ class SensorApp {
     int debounce{2};  ///< centralized mode: consecutive detections required
     FaultType fault{FaultType::kNone};
     FaultParams fault_params{};
+    /// When the fault corrupts samples (fault::SensorFault::when). Position
+    /// error is the exception: the bad self-position is drawn once at
+    /// startup, so the schedule only gates which *samples* ship it.
+    fault::Schedule fault_when{fault::Schedule::always()};
     FusionParams fusion{};
     sim::Time suppression_window{6.0};  ///< IC: mute after an observed agreement
   };
@@ -46,6 +51,10 @@ class SensorApp {
   void sample_tick();
   void install_callbacks();
   [[nodiscard]] bool suppressed() const;
+  /// One on-demand or periodic measurement: the configured fault is applied
+  /// only inside its schedule, and every faulty sample is reported to the
+  /// coverage ledger as an injected sensor fault.
+  [[nodiscard]] double measure(sim::Time t);
 
   sim::Node& node_;
   Diffusion& diffusion_;
@@ -59,6 +68,10 @@ class SensorApp {
   bool has_reading_{false};
   int consecutive_{0};
   sim::Time last_agreed_seen_{-1e18};
+  /// Reading ids the most recent local fusion rejected; on an agreement this
+  /// node centered, those rejections become *neutralized* ledger rows (the
+  /// faulty readings were kept out of the accepted notification).
+  std::vector<sim::NodeId> last_fused_dropped_;
 };
 
 }  // namespace icc::sensor

@@ -1,11 +1,14 @@
 #include "sensor/experiment.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "core/framework.hpp"
+#include "fault/injector.hpp"
 #include "crypto/model_scheme.hpp"
 #include "crypto/pki.hpp"
 #include "sensor/app.hpp"
@@ -48,11 +51,20 @@ SensorExperimentResult run_sensor_experiment(const SensorExperimentConfig& confi
   rule.debounce = config.debounce;
   BaseStation station{bs_node, *bs_diffusion, config.inner_circle ? &scheme : nullptr, rule};
 
-  // Which sensors are faulty (uniform without replacement).
+  // Which sensors are faulty. Explicit plan specs override the uniform
+  // num_faulty draw (fault_rng is forked either way, so the downstream fork
+  // order — and every legacy number — is unchanged when the plan is empty).
+  std::map<sim::NodeId, const fault::SensorFault*> sensor_faults;
   std::set<int> faulty;
-  while (static_cast<int>(faulty.size()) < std::min(config.num_faulty, config.num_sensors)) {
-    faulty.insert(static_cast<int>(
-        fault_rng.uniform_int(1, static_cast<std::uint32_t>(config.num_sensors))));
+  if (!config.plan.sensor.empty()) {
+    for (const fault::SensorFault& spec : config.plan.sensor) {
+      sensor_faults.emplace(spec.node, &spec);
+    }
+  } else {
+    while (static_cast<int>(faulty.size()) < std::min(config.num_faulty, config.num_sensors)) {
+      faulty.insert(static_cast<int>(
+          fault_rng.uniform_int(1, static_cast<std::uint32_t>(config.num_sensors))));
+    }
   }
 
   std::vector<std::unique_ptr<Diffusion>> diffusions;
@@ -80,18 +92,35 @@ SensorExperimentResult run_sensor_experiment(const SensorExperimentConfig& confi
     SensorApp::Params app_params;
     app_params.sample_period = config.sample_period;
     app_params.debounce = config.inner_circle ? 1 : config.debounce;
-    app_params.fault = faulty.count(i) != 0 ? config.fault : FaultType::kNone;
-    app_params.fault_params = config.fault_params;
+    const auto spec_it = sensor_faults.find(static_cast<sim::NodeId>(i));
+    if (spec_it != sensor_faults.end()) {
+      app_params.fault = spec_it->second->type;
+      app_params.fault_params = spec_it->second->params;
+      app_params.fault_when = spec_it->second->when;
+    } else {
+      app_params.fault = faulty.count(i) != 0 ? config.fault : FaultType::kNone;
+      app_params.fault_params = config.fault_params;
+    }
     app_params.fusion = config.fusion;
     apps.push_back(std::make_unique<SensorApp>(node, *diffusions.back(), field, app_params,
                                                icc));
     if (icc != nullptr) icc->start();
   }
 
+  // Channel and node faults go live last: with neither in the plan the
+  // engine forks no RNG and installs no hooks, preserving legacy numbers.
+  std::optional<fault::InjectionEngine> engine;
+  if (!config.plan.channel.empty() || !config.plan.node.empty()) {
+    engine.emplace(world, config.plan);
+  }
+
   world.run_until(config.sim_time);
 
   // ----------------------------------------------------------- metrics
   SensorExperimentResult result;
+  const fault::CoverageLedger ledger{world};
+  result.coverage = ledger.rows();
+  result.coverage_consistent = ledger.consistent();
   result.notifications = static_cast<std::uint64_t>(world.stats().get("sensor.notifications"));
   result.bs_detections = station.detections().size();
   result.bs_rejected = station.rejected();
@@ -185,6 +214,8 @@ SensorExperimentResult run_sensor_experiment_averaged(SensorExperimentConfig con
     total.bs_rejected += one.bs_rejected;
     total.targets += one.targets;
     total.targets_detected += one.targets_detected;
+    total.coverage = one.coverage;
+    total.coverage_consistent = total.coverage_consistent && one.coverage_consistent;
     total.miss_prob_runs.add(one.miss_prob);
     total.false_alarm_runs.add(one.false_alarm_prob);
     total.active_energy_runs.add(one.active_energy_mj);

@@ -4,9 +4,12 @@
 // or with inner-circle statistical voting at dependability level L.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "core/callbacks.hpp"
+#include "fault/ledger.hpp"
+#include "fault/plan.hpp"
 #include "sensor/field.hpp"
 #include "sensor/fusion_rules.hpp"
 #include "sim/metrics.hpp"
@@ -28,6 +31,12 @@ struct SensorExperimentConfig {
   int num_faulty{10};
   FaultType fault{FaultType::kNone};
   FaultParams fault_params{};
+
+  /// The declarative adversary. Sensor specs name the faulty sensors
+  /// explicitly (overriding the uniform num_faulty draw when non-empty;
+  /// note node 0 is the base station, sensors are 1..num_sensors); channel
+  /// and node specs are applied by a fault::InjectionEngine over the world.
+  fault::FaultPlan plan;
 
   // Inner-circle configuration.
   bool inner_circle{false};
@@ -53,6 +62,11 @@ struct SensorExperimentResult {
   std::uint64_t bs_rejected{0};
   std::uint64_t targets{0};
   std::uint64_t targets_detected{0};
+
+  /// Neutralization-coverage ledger rows (index = fault::FaultClass) and
+  /// the ledger's accounting-invariant verdict, from the (last) run.
+  std::array<fault::CoverageRow, fault::kNumFaultClasses> coverage{};
+  bool coverage_consistent{true};
 
   // Cross-run distributions, filled by run_sensor_experiment_averaged: one
   // sample per run, so mean/stddev quantify run-to-run variability.

@@ -2,22 +2,6 @@
 
 namespace icc::sensor {
 
-const char* fault_name(FaultType f) {
-  switch (f) {
-    case FaultType::kNone:
-      return "no-fault";
-    case FaultType::kStuckAtZero:
-      return "stuck-at-zero";
-    case FaultType::kCalibration:
-      return "calibration";
-    case FaultType::kInterference:
-      return "interference";
-    case FaultType::kPositionError:
-      return "position";
-  }
-  return "?";
-}
-
 TargetField TargetField::periodic(SignalModel model, sim::Time sim_time, sim::Time period,
                                   sim::Time duration, double area, sim::Rng& rng,
                                   sim::Time first_start) {
@@ -51,19 +35,7 @@ double TargetField::sample(sim::Vec2 pos, sim::Time t, FaultType fault,
   double s = 0.0;
   if (const auto u = active_target(t)) s = model_.signal(sim::distance(pos, *u));
   const double n = rng.normal(0.0, model_.sigma_n);
-  const double n2 = n * n;
-  switch (fault) {
-    case FaultType::kNone:
-    case FaultType::kPositionError:  // affects the reported position, not E
-      return s + n2;
-    case FaultType::kStuckAtZero:
-      return 0.0;
-    case FaultType::kCalibration:
-      return params.eps_clbr * (s + n2);
-    case FaultType::kInterference:
-      return s + params.eps_intf * n2;
-  }
-  return s + n2;
+  return fault::apply_sensor_fault(fault, s, n * n, params);
 }
 
 }  // namespace icc::sensor

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/sensor_fault.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 #include "sim/vec2.hpp"
@@ -45,21 +46,14 @@ struct SignalModel {
   }
 };
 
-/// The paper's sensor fault models.
-enum class FaultType : std::uint8_t {
-  kNone = 0,
-  kStuckAtZero,
-  kCalibration,    ///< E = eps_clbr * (S + N^2)
-  kInterference,   ///< E = S + eps_intf * N^2
-  kPositionError,  ///< reported position ~ Uniform(region)
-};
+/// The paper's sensor fault models now live in fault/sensor_fault.hpp as
+/// pluggable injectors; these aliases keep the sensor-layer spelling.
+using FaultType = fault::SensorFaultType;
+using FaultParams = fault::SensorFaultParams;
 
-[[nodiscard]] const char* fault_name(FaultType f);
-
-struct FaultParams {
-  double eps_clbr{2.0};
-  double eps_intf{10.0};
-};
+[[nodiscard]] inline const char* fault_name(FaultType f) {
+  return fault::sensor_fault_name(f);
+}
 
 /// One target appearance.
 struct TargetEvent {

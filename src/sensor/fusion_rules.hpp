@@ -41,11 +41,17 @@ struct FusionParams {
 };
 
 /// Fuse the circle's readings into a notification. `readings` must be sorted
-/// by sender id (the voting service guarantees it).
+/// by sender id (the voting service guarantees it). When `dropped_ids` is
+/// non-null, the ids of readings the FT-cluster refinement rejected as
+/// inconsistent are appended to it — that set is the fusion's *detection*
+/// of faulty sensors, reported to the coverage ledger by the caller. The
+/// out-parameter never influences the returned notification, so validator
+/// recomputation stays byte-for-byte identical with or without it.
 inline FusedNotification fuse_readings(
     const SignalModel& model,
     const std::vector<std::pair<sim::NodeId, Reading>>& readings,
-    const FusionParams& params = {}) {
+    const FusionParams& params = {},
+    std::vector<sim::NodeId>* dropped_ids = nullptr) {
   FusedNotification out;
   if (readings.empty()) return out;
 
@@ -53,6 +59,7 @@ inline FusedNotification fuse_readings(
   std::vector<double> times;
   std::vector<double> net_signals;
   std::vector<fusion::RangeObservation> ranges;
+  std::vector<sim::NodeId> ids;
   for (const auto& [id, r] : readings) {
     if (r.energy <= model.lambda) continue;  // non-detections carry no range info
     times.push_back(r.t);
@@ -60,6 +67,7 @@ inline FusedNotification fuse_readings(
     const double s = std::max(r.energy - model.sigma_n * model.sigma_n, 1e-3);
     net_signals.push_back(s);
     ranges.push_back(fusion::RangeObservation{r.pos, model.distance_from_signal(s)});
+    ids.push_back(id);
   }
   out.detectors = static_cast<std::uint32_t>(ranges.size());
   if (ranges.size() < 3) return out;
@@ -97,6 +105,7 @@ inline FusedNotification fuse_readings(
   // estimate level), and redo the trilateration with the survivors.
   std::vector<fusion::RangeObservation> current = ranges;
   std::vector<double> current_signals = net_signals;
+  std::vector<sim::NodeId> current_ids = ids;
   std::size_t dropped = 0;
   for (int pass = 0; pass < 2; ++pass) {
     if (current.size() < 3) break;
@@ -118,8 +127,10 @@ inline FusedNotification fuse_readings(
     std::vector<std::size_t> excluded = power_cluster.excluded;
     std::sort(excluded.begin(), excluded.end(), std::greater<>{});
     for (const std::size_t idx : excluded) {
+      if (dropped_ids != nullptr) dropped_ids->push_back(current_ids[idx]);
       current.erase(current.begin() + static_cast<std::ptrdiff_t>(idx));
       current_signals.erase(current_signals.begin() + static_cast<std::ptrdiff_t>(idx));
+      current_ids.erase(current_ids.begin() + static_cast<std::ptrdiff_t>(idx));
       ++dropped;
     }
   }

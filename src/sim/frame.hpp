@@ -13,6 +13,11 @@ struct Frame {
   NodeId tx{kNoNode};      ///< transmitting interface
   NodeId rx{kBroadcast};   ///< link-level destination (kBroadcast allowed)
   bool is_ack{false};      ///< MAC-level acknowledgement frame
+  /// Payload damaged on the air (fault injection: bit flip / truncation).
+  /// The radio still decodes the preamble and occupies the receiver for the
+  /// full airtime, but the CRC fails and the frame is discarded silently —
+  /// exactly how a collided reception dies.
+  bool corrupted{false};
   std::uint64_t frame_id{0};  ///< matches acks to the data frame they confirm
   Packet packet;           ///< empty for acks
 };

@@ -162,7 +162,9 @@ void Mac::begin_reception(const Frame& frame, double duration) {
                           frame.frame_id, 0, 0.0, "overlap"});
   }
 
-  receptions_.push_back(Reception{frame, now + duration, collided});
+  // Injected corruption kills the frame like a collision does, but is not a
+  // collision: the medium's collision counter stays untouched.
+  receptions_.push_back(Reception{frame, now + duration, collided || frame.corrupted});
   const NodeId tx = frame.tx;
   const std::uint64_t fid = frame.frame_id;
   world_.sched().schedule_in(duration, [this, tx, fid] {

@@ -30,9 +30,24 @@ void Medium::begin_transmission(const Frame& frame, double duration) {
     if (i == frame.tx) continue;
     Node& receiver = world_.node(i);
     if (receiver.down()) continue;
-    if (distance(tx_pos, receiver.position()) <= tx_range_) {
-      receiver.mac().begin_reception(frame, duration);
+    if (distance(tx_pos, receiver.position()) > tx_range_) continue;
+    if (delivery_filter_) {
+      switch (delivery_filter_(frame, i, now)) {
+        case DeliveryVerdict::kDrop:
+          world_.tracer().emit({now, TraceType::kPacketDrop, i, frame.tx, frame.packet.uid,
+                                frame.packet.size_bytes, 0.0, "channel_fault"});
+          continue;
+        case DeliveryVerdict::kCorrupt: {
+          Frame damaged = frame;
+          damaged.corrupted = true;
+          receiver.mac().begin_reception(damaged, duration);
+          continue;
+        }
+        case DeliveryVerdict::kDeliver:
+          break;
+      }
     }
+    receiver.mac().begin_reception(frame, duration);
   }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/frame.hpp"
@@ -17,6 +18,12 @@
 namespace icc::sim {
 
 class World;
+
+/// Per-receiver fate of a frame, decided by the delivery filter (fault
+/// injection). kDrop models the frame never reaching this receiver's radio;
+/// kCorrupt delivers it with the corrupted flag set (CRC failure at the end
+/// of the reception).
+enum class DeliveryVerdict : std::uint8_t { kDeliver, kDrop, kCorrupt };
 
 class Medium {
  public:
@@ -39,6 +46,12 @@ class Medium {
   [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
   void count_collision() noexcept { ++collisions_; }
 
+  /// Fault-injection hook: consulted once per (frame, in-range receiver)
+  /// pair; absent (the default), every in-range receiver gets the frame.
+  /// Replaces any previous filter; pass nullptr to clear.
+  using DeliveryFilter = std::function<DeliveryVerdict(const Frame&, NodeId rx, Time now)>;
+  void set_delivery_filter(DeliveryFilter filter) { delivery_filter_ = std::move(filter); }
+
  private:
   struct OnAir {
     Vec2 tx_pos;
@@ -53,6 +66,7 @@ class Medium {
   mutable std::vector<OnAir> on_air_;
   std::uint64_t frames_sent_{0};
   std::uint64_t collisions_{0};
+  DeliveryFilter delivery_filter_;
 };
 
 }  // namespace icc::sim

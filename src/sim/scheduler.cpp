@@ -24,6 +24,12 @@ Scheduler::EventId Scheduler::schedule_at(Time t, std::function<void()> fn, Even
   ICC_ASSERT(fn != nullptr, "scheduled events must carry a callable");
   ICC_ASSERT(!std::isnan(t), "event times must not be NaN");
   if (t < now_) t = now_;  // clamp: "immediately" from a handler's viewpoint
+  if (warp_) {
+    const Time warped = warp_(now_, t - now_, tag);
+    ICC_ASSERT(warped >= 0.0 && !std::isnan(warped),
+               "a timer warp must return a non-negative delay");
+    t = now_ + warped;
+  }
   const EventId id = next_seq_++;
   queue_.push(QueueEntry{t, id, id});
   pending_.emplace(id, PendingEvent{std::move(fn), tag});

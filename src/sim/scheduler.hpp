@@ -85,6 +85,15 @@ class Scheduler {
   /// Whether an event is still pending.
   [[nodiscard]] bool pending(EventId id) const { return pending_.count(id) != 0; }
 
+  /// Fault-injection hook (slow/stuck timers): maps the delay of every
+  /// newly scheduled event to a possibly stretched one, given the current
+  /// time and the event's tag. Injectors must leave kMac and kMobility
+  /// events untouched — a slow *process* still obeys the channel's physics —
+  /// and must return a non-negative delay. Replaces any previous warp;
+  /// nullptr clears the hook.
+  using TimerWarp = std::function<double(Time now, double dt, EventTag tag)>;
+  void set_timer_warp(TimerWarp warp) { warp_ = std::move(warp); }
+
   /// Run events in order until the queue drains or time would pass `end`.
   /// The clock is left at `end` (or at the last event if the queue drained).
   void run_until(Time end);
@@ -127,6 +136,7 @@ class Scheduler {
   void execute(PendingEvent&& event);
 
   Time now_{0.0};
+  TimerWarp warp_;
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
   bool profiling_{false};

@@ -38,10 +38,14 @@ constexpr std::array<TypeInfo, static_cast<std::size_t>(TraceType::kCount)> kTyp
     {"watchdog_blacklist", TraceCategory::kWatchdog, 'e'},
     {"fusion_decision", TraceCategory::kFusion, 'e'},
     {"energy_charge", TraceCategory::kEnergy, 'e'},
+    {"fault_injected", TraceCategory::kFault, 'f'},
+    {"fault_detected", TraceCategory::kFault, 'e'},
+    {"fault_neutralized", TraceCategory::kFault, 'e'},
 }};
 
 constexpr std::array<const char*, static_cast<std::size_t>(TraceCategory::kCount)>
-    kCategoryNames{{"packet", "mac", "route", "voting", "watchdog", "fusion", "energy"}};
+    kCategoryNames{{"packet", "mac", "route", "voting", "watchdog", "fusion", "energy",
+                    "fault"}};
 
 /// Fixed-precision time rendering: deterministic for identical doubles and
 /// sortable as text.

@@ -14,7 +14,7 @@
 //
 // Environment knobs (read by World at construction):
 //   ICC_TRACE       comma-separated categories to enable:
-//                   packet,mac,route,voting,watchdog,fusion,energy  or  all
+//                   packet,mac,route,voting,watchdog,fusion,energy,fault  or  all
 //   ICC_TRACE_FILE  write the trace there instead of stderr; a path ending
 //                   in .jsonl selects the JSONL sink, anything else the
 //                   ns-2-style line sink. Worlds created by the same process
@@ -40,6 +40,7 @@ enum class TraceCategory : std::uint8_t {
   kWatchdog,  ///< overhearing-based accusations
   kFusion,    ///< sensor-fusion / base-station decisions
   kEnergy,    ///< non-radio energy charges (crypto ops)
+  kFault,     ///< fault injection and its detection/neutralization
   kCount
 };
 
@@ -60,6 +61,9 @@ enum class TraceType : std::uint8_t {
   kWatchdogBlacklist,
   kFusionDecision,
   kEnergyCharge,
+  kFaultInjected,     ///< an injector fired (detail = fault class)
+  kFaultDetected,     ///< a defense noticed a fault's effect
+  kFaultNeutralized,  ///< a defense masked a fault's effect
   kCount
 };
 

@@ -5,7 +5,7 @@
 
 #include <memory>
 
-#include "aodv/blackhole.hpp"
+#include "aodv/misbehavior.hpp"
 #include "sim/world.hpp"
 
 namespace icc::aodv {
@@ -186,7 +186,8 @@ TEST_F(AodvTest, BlackholeAttractsAndDropsTraffic) {
   build_chain(5);
   sim::Node& attacker_node = world_->add_node(
       std::make_unique<sim::StaticMobility>(sim::Vec2{200.0, 100.0}));  // near node 1
-  BlackholeAodv attacker{attacker_node, Aodv::Params{}, BlackholeAodv::AttackParams{}};
+  MisbehaviorAodv attacker{attacker_node, Aodv::Params{},
+                           fault::black_hole(attacker_node.id())};
 
   for (int i = 0; i < 20; ++i) {
     world_->sched().schedule_in(0.25 * i, [this] {
@@ -204,10 +205,9 @@ TEST_F(AodvTest, GrayHoleBehavesDuringOffPeriod) {
   build_chain(3);
   sim::Node& attacker_node = world_->add_node(
       std::make_unique<sim::StaticMobility>(sim::Vec2{200.0, 100.0}));
-  BlackholeAodv::AttackParams attack;
-  attack.on_period = 1.0;
-  attack.off_period = 1000.0;  // attacks only in the first second
-  BlackholeAodv attacker{attacker_node, Aodv::Params{}, attack};
+  // Attacks only in the first second of each (very long) cycle.
+  MisbehaviorAodv attacker{attacker_node, Aodv::Params{},
+                           fault::gray_hole(attacker_node.id(), 1.0, 1000.0)};
 
   // Start traffic after the attack window: the gray hole behaves correctly.
   world_->sched().schedule_at(5.0, [this] { agents_[0]->send_data(2, DataMsg{}); });

@@ -6,7 +6,7 @@
 
 #include <memory>
 
-#include "aodv/blackhole.hpp"
+#include "aodv/misbehavior.hpp"
 #include "aodv/blackhole_experiment.hpp"
 #include "aodv/guard.hpp"
 #include "core/framework.hpp"
@@ -52,7 +52,7 @@ class GuardTest : public ::testing::Test {
     for (const sim::Vec2 pos : attacker_positions) {
       sim::Node& node = world_->add_node(std::make_unique<sim::StaticMobility>(pos));
       attackers_.push_back(
-          std::make_unique<BlackholeAodv>(node, Aodv::Params{}, BlackholeAodv::AttackParams{}));
+          std::make_unique<MisbehaviorAodv>(node, Aodv::Params{}, fault::black_hole(node.id())));
     }
     world_->run_until(5.0);  // STS bootstrap
   }
@@ -70,7 +70,7 @@ class GuardTest : public ::testing::Test {
   std::vector<std::unique_ptr<Aodv>> agents_;
   std::vector<std::unique_ptr<core::InnerCircleNode>> circles_;
   std::vector<std::unique_ptr<AodvGuard>> guards_;
-  std::vector<std::unique_ptr<BlackholeAodv>> attackers_;
+  std::vector<std::unique_ptr<MisbehaviorAodv>> attackers_;
   std::vector<Delivery> deliveries_;
 };
 

@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "aodv/blackhole.hpp"
+#include "aodv/misbehavior.hpp"
 #include "aodv/blackhole_experiment.hpp"
 #include "aodv/watchdog.hpp"
 #include "sim/world.hpp"
@@ -28,8 +28,8 @@ class WatchdogTest : public ::testing::Test {
       sim::Node& node = world_->add_node(
           std::make_unique<sim::StaticMobility>(positions[i]));
       if (i == 1 && middle_is_blackhole) {
-        agents_.push_back(std::make_unique<BlackholeAodv>(node, Aodv::Params{},
-                                                          BlackholeAodv::AttackParams{}));
+        agents_.push_back(std::make_unique<MisbehaviorAodv>(node, Aodv::Params{},
+                                                            fault::black_hole(node.id())));
       } else {
         agents_.push_back(std::make_unique<Aodv>(node, Aodv::Params{}));
       }
@@ -103,8 +103,8 @@ TEST_F(WatchdogTest, PathraterFailsOverAfterBlacklisting) {
   for (int i = 0; i < 4; ++i) {
     sim::Node& node = world_->add_node(std::make_unique<sim::StaticMobility>(positions[i]));
     if (i == 1) {
-      agents_.push_back(std::make_unique<BlackholeAodv>(node, Aodv::Params{},
-                                                        BlackholeAodv::AttackParams{}));
+      agents_.push_back(std::make_unique<MisbehaviorAodv>(node, Aodv::Params{},
+                                                          fault::black_hole(node.id())));
     } else {
       agents_.push_back(std::make_unique<Aodv>(node, Aodv::Params{}));
     }

@@ -9,6 +9,9 @@
 #include "core/framework.hpp"
 #include "crypto/model_scheme.hpp"
 #include "crypto/pki.hpp"
+#include "fault/injector.hpp"
+#include "fault/ledger.hpp"
+#include "fault/plan.hpp"
 #include "sim/world.hpp"
 
 namespace icc::core {
@@ -92,6 +95,49 @@ TEST_F(ChurnTest, RecurringRoundsSurviveRollingCrashes) {
   world_->run_until(16.0);
   // Circle shrinks 6 -> 3 members; L = 2 remains satisfiable throughout.
   EXPECT_EQ(completed, 6);
+}
+
+TEST_F(ChurnTest, InjectedInitiatorCrashMidRoundAbortsOrCompletesNeverHangs) {
+  // Same scenario as the hand-rolled crashes above, but driven through the
+  // fault subsystem: a declarative NodeFault crashes the *initiator* right
+  // after it opens the round and revives it later. The round must either
+  // complete before the crash or abort — the run_until below returning at
+  // all is the no-hang guarantee (a wedged round would spin timers forever
+  // under this test's timeout).
+  build(6, 2);
+  fault::FaultPlan plan;
+  fault::NodeFault crash;
+  crash.node = 0;
+  crash.down = fault::Schedule::window(5.001, 8.0);
+  plan.node.push_back(crash);
+  fault::InjectionEngine engine{*world_, plan};
+
+  int agreements = 0;
+  for (auto& circle : circles_) {
+    circle->callbacks().on_agreed = [&](const AgreedMsg&, bool) { ++agreements; };
+  }
+  circles_[0]->initiate(Value{7});
+  world_->run_until(12.0);
+  // The center died 1 ms into the round: combination happens at the center,
+  // so nobody can have delivered an agreement for it.
+  EXPECT_EQ(agreements, 0);
+  EXPECT_FALSE(world_->node(0).down());  // the schedule also revived it
+
+  // After re-authentication the revived node initiates successfully.
+  world_->run_until(14.0);
+  bool agreed = false;
+  circles_[0]->callbacks().on_agreed = [&](const AgreedMsg&, bool is_center) {
+    if (is_center) agreed = true;
+  };
+  circles_[0]->initiate(Value{8});
+  world_->run_until(17.0);
+  EXPECT_TRUE(agreed);
+
+  // The crash went through the ledger: one node-fault injection, books
+  // balanced.
+  const fault::CoverageLedger ledger{*world_};
+  EXPECT_EQ(ledger.row(fault::FaultClass::kNode).injected, 1u);
+  EXPECT_TRUE(ledger.consistent());
 }
 
 TEST_F(ChurnTest, MobilityExperimentCompletesWithHighChurn) {
