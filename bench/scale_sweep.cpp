@@ -1,0 +1,168 @@
+// Simulator-throughput scale sweep: how fast does the core run as the world
+// grows? For each node count N the same seeded scenario (density-preserving
+// area, N/5 CBR connections, no attackers, no defense) is simulated twice —
+// once answering radio neighbor queries from the uniform-grid spatial index
+// (sim/grid.hpp), once with the brute-force all-nodes scan — and the bench
+// reports wall-clock seconds, scheduler events/s, and frames/s for both.
+//
+// The two paths promise byte-identical simulations, so the bench doubles as
+// a correctness gate: any mismatch in events executed, frames sent, or
+// packets delivered between the grid and brute cells of the same (N, run)
+// exits nonzero. CI's perf-smoke job runs exactly that gate at N=100 (it is
+// correctness-gated, not time-gated: shared runners make wall-clock
+// thresholds flaky).
+//
+// Environment knobs: ICC_SCALE_NODES (comma list, default 30,100,300,1000),
+// ICC_SCALE_TIME (default 20 s), ICC_SCALE_RUNS (default 1), ICC_THREADS
+// (keep the default 1 when the wall-clock numbers matter), ICC_JSON.
+// The committed bench/BENCH_scale.json is this bench's ICC_JSON report at
+// the defaults — the perf trajectory baseline for future PRs.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <chrono>
+
+#include "aodv/blackhole_experiment.hpp"
+#include "exp/env.hpp"
+#include "exp/runner.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+std::vector<int> parse_node_counts(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                                         : comma - pos);
+    if (!item.empty()) out.push_back(std::stoi(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::string nodes_spec = icc::exp::env_string("ICC_SCALE_NODES", "30,100,300,1000");
+  const std::vector<int> node_counts = parse_node_counts(nodes_spec);
+  const double sim_time = icc::exp::env_double("ICC_SCALE_TIME", 20.0);
+  const int runs = icc::exp::env_int("ICC_SCALE_RUNS", 1);
+  if (node_counts.empty()) {
+    std::fprintf(stderr, "ICC_SCALE_NODES parsed to an empty list\n");
+    return 1;
+  }
+
+  std::printf("Simulator scale sweep — N in {%s}, %.0f s simulated, %d run(s) per cell\n"
+              "(density-preserving area, N/5 CBR connections, no attackers)\n\n",
+              nodes_spec.c_str(), sim_time, runs);
+
+  const bool path_uses_grid[] = {true, false};  // parallel to the "path" axis
+
+  icc::exp::Campaign campaign;
+  campaign.name = "scale_sweep";
+  campaign.base_seed = 9100;
+  campaign.runs = runs;
+  campaign.common_random_numbers = true;  // grid and brute must see the same world
+  {
+    std::vector<std::string> labels;
+    for (const int n : node_counts) labels.push_back(std::to_string(n));
+    campaign.grid.axis("nodes", labels);
+    campaign.grid.axis("path", {"grid", "brute"});
+  }
+  campaign.job = [&](const icc::exp::JobContext& ctx) {
+    const int n = node_counts[campaign.grid.level(ctx.cell, 0)];
+    const bool use_grid = path_uses_grid[campaign.grid.level(ctx.cell, 1)];
+    icc::aodv::BlackholeExperimentConfig config;
+    config.num_nodes = n;
+    // Density-preserving scaling: the area grows with N so the mean radio
+    // degree is constant and N scales the world, not the load per node. The
+    // density is half the paper's 50-node/1000x1000 m^2 figure (mean degree
+    // ~5 instead of ~10) — a sparser, longer-hop topology keeps the
+    // per-frame delivery fan-out from drowning the neighbor-query machinery
+    // this sweep exists to compare, while staying above the continuum
+    // percolation threshold so multihop routes exist.
+    config.area = 1000.0 * std::sqrt(static_cast<double>(n) / 25.0);
+    config.num_connections = n / 5;
+    config.num_malicious = 0;
+    config.sim_time = sim_time;
+    config.seed = ctx.seed;
+    config.spatial_grid = use_grid;
+    // detlint:allow(wall-clock): perf bench measures host wall time only; results never feed simulated state
+    const auto start = std::chrono::steady_clock::now();
+    const auto r = icc::aodv::run_blackhole_experiment(config);
+    // detlint:allow(wall-clock): perf bench measures host wall time only; results never feed simulated state
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall_s = std::chrono::duration<double>(stop - start).count();
+    icc::exp::JobOutputs out;
+    out["wall_s"] = {wall_s};
+    out["events_per_s"] = {wall_s > 0.0 ? static_cast<double>(r.events_executed) / wall_s
+                                        : 0.0};
+    out["frames_per_s"] = {wall_s > 0.0 ? static_cast<double>(r.frames_sent) / wall_s : 0.0};
+    // Correctness signature of the run: must match exactly across paths.
+    out["events_executed"] = {static_cast<double>(r.events_executed)};
+    out["frames_sent"] = {static_cast<double>(r.frames_sent)};
+    out["packets_received"] = {static_cast<double>(r.packets_received)};
+    out["mac_collisions"] = {static_cast<double>(r.mac_collisions)};
+    out["throughput"] = {r.throughput};
+    return out;
+  };
+  const icc::exp::CampaignResult result = icc::exp::run_campaign(campaign);
+
+  // Correctness gate: grid and brute cells of the same N simulated the same
+  // seeds, so their simulation outputs (not their wall-clock) must agree to
+  // the last bit.
+  bool consistent = true;
+  const char* signature[] = {"events_executed", "frames_sent", "packets_received",
+                             "mac_collisions"};
+  for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+    const std::size_t grid_cell = campaign.grid.cell_index({ni, 0});
+    const std::size_t brute_cell = campaign.grid.cell_index({ni, 1});
+    for (const char* metric : signature) {
+      const auto& a = result.series(grid_cell, metric);
+      const auto& b = result.series(brute_cell, metric);
+      if (a.count != b.count || a.sum != b.sum) {
+        std::fprintf(stderr,
+                     "MISMATCH at N=%d: %s grid=%.0f brute=%.0f — spatial grid "
+                     "diverged from the brute-force path\n",
+                     node_counts[ni], metric, a.sum, b.sum);
+        consistent = false;
+      }
+    }
+  }
+
+  std::printf("%8s %10s | %10s %12s %12s | %10s %12s %12s | %8s\n", "nodes", "events",
+              "grid s", "events/s", "frames/s", "brute s", "events/s", "frames/s",
+              "speedup");
+  for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+    const std::size_t gc = campaign.grid.cell_index({ni, 0});
+    const std::size_t bc = campaign.grid.cell_index({ni, 1});
+    const double ge = result.mean(gc, "events_per_s");
+    const double be = result.mean(bc, "events_per_s");
+    std::printf("%8d %10.0f | %10.2f %12.0f %12.0f | %10.2f %12.0f %12.0f | %7.2fx\n",
+                node_counts[ni], result.mean(gc, "events_executed"),
+                result.mean(gc, "wall_s"), ge, result.mean(gc, "frames_per_s"),
+                result.mean(bc, "wall_s"), be, result.mean(bc, "frames_per_s"),
+                be > 0.0 ? ge / be : 0.0);
+  }
+  std::printf("\n%s\n", consistent
+                            ? "grid/brute correctness gate: OK (byte-identical simulations)"
+                            : "grid/brute correctness gate: FAILED");
+
+  if (const std::string json_path = icc::exp::env_string("ICC_JSON"); !json_path.empty()) {
+    icc::sim::RunReport report;
+    report.set_meta("experiment", "scale_sweep");
+    report.set_meta("runs", static_cast<std::uint64_t>(runs));
+    report.set_meta("sim_time_s", sim_time);
+    report.set_meta("seed", campaign.base_seed);
+    result.add_to_report(report);
+    if (!report.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write report to %s\n", json_path.c_str());
+    }
+  }
+  return consistent ? 0 : 1;
+}

@@ -22,6 +22,7 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   world_config.height = config.area;
   world_config.tx_range = config.tx_range;
   world_config.seed = config.seed;
+  world_config.spatial_grid = config.spatial_grid;
   sim::World world{world_config};
 
   sim::Rng layout_rng = world.fork_rng(0xB1ACull);
@@ -137,6 +138,8 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   result.watchdog_blacklisted =
       static_cast<std::uint64_t>(world.stats().get("watchdog.blacklisted"));
   result.mac_collisions = world.medium().collisions();
+  result.events_executed = world.sched().executed();
+  result.frames_sent = world.medium().frames_sent();
   const fault::CoverageLedger ledger{world};
   result.coverage = ledger.rows();
   result.coverage_consistent = ledger.consistent();

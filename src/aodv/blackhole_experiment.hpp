@@ -55,6 +55,11 @@ struct BlackholeExperimentConfig {
 
   sim::Time traffic_start{5.0};  ///< let STS authenticate links first
   std::uint64_t seed{1};
+
+  /// Serve radio neighbor queries from the spatial index (sim/grid.hpp).
+  /// Results are byte-identical either way; bench/scale_sweep turns it off
+  /// to measure the brute-force baseline.
+  bool spatial_grid{true};
 };
 
 struct BlackholeExperimentResult {
@@ -68,6 +73,10 @@ struct BlackholeExperimentResult {
   std::uint64_t watchdog_blacklisted{0};
   std::uint64_t voting_rounds{0};
   std::uint64_t mac_collisions{0};
+  /// Simulator-throughput counters (for perf benches): scheduler events
+  /// executed and frames put on the air during the (last) run.
+  std::uint64_t events_executed{0};
+  std::uint64_t frames_sent{0};
 
   /// Neutralization-coverage ledger rows (index = fault::FaultClass) and
   /// the ledger's accounting-invariant verdict, from the (last) run.

@@ -13,7 +13,8 @@
 namespace icc::aodv {
 
 /// Route request, flooded network-wide by a source needing a route.
-struct RreqMsg final : sim::Payload {
+struct RreqMsg final : sim::PayloadBase<RreqMsg> {
+  static constexpr const char* kTag = "aodv.rreq";
   sim::NodeId orig{sim::kNoNode};
   std::uint32_t rreq_id{0};
   std::uint32_t orig_seq{0};
@@ -21,18 +22,17 @@ struct RreqMsg final : sim::Payload {
   std::uint32_t dest_seq{0};      ///< last known destination sequence number
   bool dest_seq_known{false};
   std::uint32_t hop_count{0};
-  [[nodiscard]] std::string tag() const override { return "aodv.rreq"; }
   static constexpr std::uint32_t kWireSize = 24;
 };
 
 /// Route reply, unicast hop-by-hop back along the reverse path. The
 /// destination sequence number is what a black hole attacker inflates.
-struct RrepMsg final : sim::Payload {
+struct RrepMsg final : sim::PayloadBase<RrepMsg> {
+  static constexpr const char* kTag = "aodv.rrep";
   sim::NodeId dest{sim::kNoNode};   ///< route destination (route_dst in Fig 6)
   std::uint32_t dest_seq{0};
   sim::NodeId orig{sim::kNoNode};   ///< route requester the reply travels to
   std::uint32_t hop_count{0};
-  [[nodiscard]] std::string tag() const override { return "aodv.rrep"; }
   static constexpr std::uint32_t kWireSize = 20;
 
   /// Canonical byte form used as the inner-circle voting value; the chosen
@@ -67,9 +67,9 @@ struct RrepMsg final : sim::Payload {
 };
 
 /// Route error: destinations no longer reachable via the sender.
-struct RerrMsg final : sim::Payload {
+struct RerrMsg final : sim::PayloadBase<RerrMsg> {
+  static constexpr const char* kTag = "aodv.rerr";
   std::vector<std::pair<sim::NodeId, std::uint32_t>> unreachable;  ///< (dest, seq)
-  [[nodiscard]] std::string tag() const override { return "aodv.rerr"; }
   [[nodiscard]] std::uint32_t wire_size() const {
     return static_cast<std::uint32_t>(8 + 8 * unreachable.size());
   }
@@ -78,11 +78,11 @@ struct RerrMsg final : sim::Payload {
 /// Application data carried over an AODV route. The payload itself is
 /// opaque; `app_bytes` models its size and `app_uid` identifies it for
 /// throughput accounting.
-struct DataMsg final : sim::Payload {
+struct DataMsg final : sim::PayloadBase<DataMsg> {
+  static constexpr const char* kTag = "aodv.data";
   std::uint64_t app_uid{0};
   std::uint32_t app_bytes{512};
   sim::Time sent_at{0.0};  ///< origination time (latency accounting only)
-  [[nodiscard]] std::string tag() const override { return "aodv.data"; }
 };
 
 }  // namespace icc::aodv

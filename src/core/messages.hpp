@@ -29,14 +29,13 @@ enum class VotingMode : std::uint8_t { kDeterministic = 0, kStatistical = 1 };
 /// HMAC(session(origin, neighbors[i]), auth_bytes(...)) so that each listed
 /// neighbor can verify the beacon really comes from origin and that the
 /// adjacency claim is mutual.
-struct StsBeacon final : sim::Payload {
+struct StsBeacon final : sim::PayloadBase<StsBeacon> {
+  static constexpr const char* kTag = "sts.beacon";
   sim::NodeId origin{sim::kNoNode};
   std::uint64_t seq{0};
   sim::Vec2 pos;
   std::vector<sim::NodeId> neighbors;
   std::vector<crypto::Digest> tags;
-
-  [[nodiscard]] std::string tag() const override { return "sts.beacon"; }
 
   /// The beacon content covered by each per-neighbor tag.
   [[nodiscard]] static std::vector<std::uint8_t> auth_bytes(
@@ -54,35 +53,36 @@ struct StsBeacon final : sim::Payload {
 };
 
 /// NS-Lowe handshake transport (phases 1-3), unicast between neighbors.
-struct NslMsg final : sim::Payload {
+struct NslMsg final : sim::PayloadBase<NslMsg> {
+  // Tag is per-type now; the handshake phase rides in the `phase` field
+  // (the old dynamic "sts.nsl<phase>" string had no readers).
+  static constexpr const char* kTag = "sts.nsl";
   int phase{0};
   crypto::Ciphertext ct;
-  [[nodiscard]] std::string tag() const override { return "sts.nsl" + std::to_string(phase); }
 };
 
 // --------------------------------------------------------------------- IVS
 
 /// Statistical voting, step 1: the center solicits values (Fig 3b). `topic`
 /// carries the center's own observation / round context for getVal.
-struct SolicitMsg final : sim::Payload {
+struct SolicitMsg final : sim::PayloadBase<SolicitMsg> {
+  static constexpr const char* kTag = "ivs.solicit";
   sim::NodeId center{sim::kNoNode};
   std::uint64_t round{0};
   int level{1};
   int ttl{1};  ///< remaining relay hops (2 for two-hop inner circles, §3)
   Value topic;
-  [[nodiscard]] std::string tag() const override { return "ivs.solicit"; }
 };
 
 /// Statistical voting, step 2: a participant's observation, individually
 /// signed so it can be forwarded as evidence inside the propose message.
-struct ValueMsg final : sim::Payload {
+struct ValueMsg final : sim::PayloadBase<ValueMsg> {
+  static constexpr const char* kTag = "ivs.value";
   sim::NodeId sender{sim::kNoNode};
   sim::NodeId center{sim::kNoNode};  ///< routing target (relayed in 2-hop circles)
   std::uint64_t round{0};
   Value value;
   std::vector<std::uint8_t> sig;  ///< PKI signature over value_bytes(...)
-  [[nodiscard]] std::string tag() const override { return "ivs.value"; }
-
   [[nodiscard]] static std::vector<std::uint8_t> value_bytes(sim::NodeId center,
                                                              std::uint64_t round,
                                                              sim::NodeId sender,
@@ -98,7 +98,8 @@ struct ValueMsg final : sim::Payload {
 
 /// Voting propose: deterministic rounds open with it; statistical rounds use
 /// it to distribute the fused value plus the evidence it was fused from.
-struct ProposeMsg final : sim::Payload {
+struct ProposeMsg final : sim::PayloadBase<ProposeMsg> {
+  static constexpr const char* kTag = "ivs.propose";
   sim::NodeId center{sim::kNoNode};
   std::uint64_t round{0};
   int level{1};
@@ -107,8 +108,6 @@ struct ProposeMsg final : sim::Payload {
   Value value;
   std::vector<ValueMsg> evidence;      ///< statistical only; includes center's own
   std::vector<std::uint8_t> center_sig;  ///< PKI signature (conviction evidence)
-  [[nodiscard]] std::string tag() const override { return "ivs.propose"; }
-
   [[nodiscard]] static std::vector<std::uint8_t> propose_bytes(sim::NodeId center,
                                                                std::uint64_t round, int level,
                                                                VotingMode mode,
@@ -125,26 +124,25 @@ struct ProposeMsg final : sim::Payload {
 
 /// A participant's approval: its partial threshold signature over the agreed
 /// content.
-struct AckMsg final : sim::Payload {
+struct AckMsg final : sim::PayloadBase<AckMsg> {
+  static constexpr const char* kTag = "ivs.ack";
   sim::NodeId sender{sim::kNoNode};
   sim::NodeId center{sim::kNoNode};  ///< routing target (relayed in 2-hop circles)
   std::uint64_t round{0};
   crypto::PartialSig psig;
-  [[nodiscard]] std::string tag() const override { return "ivs.ack"; }
 };
 
 /// The self-checking output of a completed round (§3): value + combined
 /// threshold signature. Broadcast to the circle and embeddable (serialized)
 /// in any application message for multi-hop propagation.
-struct AgreedMsg final : sim::Payload {
+struct AgreedMsg final : sim::PayloadBase<AgreedMsg> {
+  static constexpr const char* kTag = "ivs.agreed";
   sim::NodeId source{sim::kNoNode};
   std::uint64_t round{0};
   int level{1};
   int ttl{1};  ///< transient relay budget; NOT part of the signed content
   Value value;
   crypto::ThresholdSignature sig;
-  [[nodiscard]] std::string tag() const override { return "ivs.agreed"; }
-
   /// The bytes covered by the threshold signature.
   [[nodiscard]] static std::vector<std::uint8_t> signed_bytes(sim::NodeId source,
                                                               std::uint64_t round, int level,

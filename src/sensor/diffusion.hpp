@@ -17,22 +17,22 @@
 namespace icc::sensor {
 
 /// Interest flood establishing the gradient.
-struct InterestMsg final : sim::Payload {
+struct InterestMsg final : sim::PayloadBase<InterestMsg> {
+  static constexpr const char* kTag = "diff.interest";
   sim::NodeId sink{sim::kNoNode};
   std::uint32_t seq{0};
   std::uint32_t hops{0};
-  [[nodiscard]] std::string tag() const override { return "diff.interest"; }
   static constexpr std::uint32_t kWireSize = 16;
 };
 
 /// A notification travelling up the tree. The payload is opaque bytes —
 /// a raw Reading (centralized mode) or a serialized AgreedMsg (inner-circle
 /// mode).
-struct NotificationMsg final : sim::Payload {
+struct NotificationMsg final : sim::PayloadBase<NotificationMsg> {
+  static constexpr const char* kTag = "diff.notification";
   sim::NodeId origin{sim::kNoNode};
   std::uint64_t uid{0};
   std::vector<std::uint8_t> data;
-  [[nodiscard]] std::string tag() const override { return "diff.notification"; }
   [[nodiscard]] std::uint32_t wire_size() const {
     return static_cast<std::uint32_t>(16 + data.size());
   }

@@ -7,16 +7,14 @@
 
 namespace icc::sim {
 
-void Medium::prune(Time now) const {
-  std::erase_if(on_air_, [now](const OnAir& t) { return t.end <= now; });
-}
-
 void Medium::begin_transmission(const Frame& frame, double duration) {
   const Time now = world_.sched().now();
   ICC_ASSERT(duration > 0.0, "a transmission must occupy the medium for positive time");
   ICC_ASSERT(frame.tx < world_.num_nodes(), "transmissions must come from a known node");
-  prune(now);
-  // Conservation: radios are half-duplex, so after pruning expired entries
+  // Retire transmissions that ended at or before now: they are ordered by
+  // end time, so this pops a prefix instead of erase_if-scanning the table.
+  on_air_.erase(on_air_.begin(), on_air_.upper_bound(now));
+  // Conservation: radios are half-duplex, so after retiring expired entries
   // there can never be more concurrent transmissions than nodes.
   ICC_CHECK(on_air_.size() < world_.num_nodes(),
             "more in-flight transmissions than transmitters: a frame leaked on the air");
@@ -25,12 +23,12 @@ void Medium::begin_transmission(const Frame& frame, double duration) {
                         frame.packet.size_bytes, duration,
                         frame.is_ack ? "ack" : nullptr});
   const Vec2 tx_pos = world_.node(frame.tx).position();
-  on_air_.push_back(OnAir{tx_pos, now + duration});
-  for (NodeId i = 0; i < world_.num_nodes(); ++i) {
+  on_air_.emplace(now + duration, tx_pos);
+  world_.nodes_within(tx_pos, tx_range_, rx_scratch_);
+  for (const NodeId i : rx_scratch_) {
     if (i == frame.tx) continue;
     Node& receiver = world_.node(i);
     if (receiver.down()) continue;
-    if (distance(tx_pos, receiver.position()) > tx_range_) continue;
     if (delivery_filter_) {
       switch (delivery_filter_(frame, i, now)) {
         case DeliveryVerdict::kDrop:
@@ -53,10 +51,19 @@ void Medium::begin_transmission(const Frame& frame, double duration) {
 
 bool Medium::busy_at(NodeId listener) const {
   const Time now = world_.sched().now();
-  prune(now);
   const Vec2 lp = world_.node(listener).position();
-  return std::any_of(on_air_.begin(), on_air_.end(), [&](const OnAir& t) {
-    return t.end > now && distance(t.tx_pos, lp) <= cs_range_;
+  // Entries with end <= now are dead air; upper_bound skips the whole
+  // expired prefix in O(log n) and leaves the table untouched.
+  if (world_.config().spatial_grid) {
+    // Squared-distance form of the same predicate (see SpatialGrid::query
+    // for the equivalence argument); the legacy branch below keeps hypot so
+    // spatial_grid=false stays the faithful pre-refactor baseline.
+    const double cs2 = cs_range_ * cs_range_;
+    return std::any_of(on_air_.upper_bound(now), on_air_.end(),
+                       [&](const auto& t) { return (t.second - lp).norm2() <= cs2; });
+  }
+  return std::any_of(on_air_.upper_bound(now), on_air_.end(), [&](const auto& t) {
+    return distance(t.second, lp) <= cs_range_;
   });
 }
 

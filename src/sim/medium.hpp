@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "sim/frame.hpp"
@@ -53,17 +54,18 @@ class Medium {
   void set_delivery_filter(DeliveryFilter filter) { delivery_filter_ = std::move(filter); }
 
  private:
-  struct OnAir {
-    Vec2 tx_pos;
-    Time end;
-  };
-
-  void prune(Time now) const;
-
   World& world_;
   double tx_range_;
   double cs_range_;
-  mutable std::vector<OnAir> on_air_;
+  /// The air table: transmissions keyed by their end time (ties keep
+  /// insertion order), each carrying the transmitter position snapshotted at
+  /// transmission start. Expired entries are erased in O(log n) amortized by
+  /// the next begin_transmission; carrier sense skips them without mutating
+  /// anything via upper_bound(now), so busy_at is honestly const.
+  std::multimap<Time, Vec2> on_air_;
+  /// Receiver candidates of the current transmission; member so the per-
+  /// frame hot path does not allocate.
+  std::vector<NodeId> rx_scratch_;
   std::uint64_t frames_sent_{0};
   std::uint64_t collisions_{0};
   DeliveryFilter delivery_filter_;

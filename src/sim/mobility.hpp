@@ -5,6 +5,7 @@
 // current leg of movement, so queries are O(1) and no per-tick events exist.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "sim/rng.hpp"
@@ -22,6 +23,14 @@ class Mobility {
 
   /// Position of the node at simulated time `now`.
   [[nodiscard]] virtual Vec2 position(Time now) const = 0;
+
+  /// Upper bound on the node's speed, in m/s, over its whole life. The
+  /// spatial index (sim/grid.hpp) uses it to decide how long a cached cell
+  /// assignment stays valid, so the bound must hold for every trajectory the
+  /// model can produce. Models that cannot bound their speed (teleporting
+  /// test doubles) must return +infinity, which degrades the cache to
+  /// re-binning that node on every query — correct, just slower.
+  [[nodiscard]] virtual double max_speed() const { return 0.0; }
 
   /// Hook to schedule waypoint-arrival events; called once when the node is
   /// added to the world.
@@ -53,6 +62,10 @@ class RandomWaypoint final : public Mobility {
   RandomWaypoint(Params params, Vec2 start, Rng rng);
 
   [[nodiscard]] Vec2 position(Time now) const override;
+  /// Legs travel at max(0.1, uniform(min_speed, max_speed)) m/s.
+  [[nodiscard]] double max_speed() const override {
+    return std::max(0.1, params_.max_speed);
+  }
   void start(Scheduler& sched) override;
 
  private:

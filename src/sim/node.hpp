@@ -50,6 +50,7 @@ class Node {
   EnergyMeter& energy() noexcept { return energy_; }
   [[nodiscard]] const EnergyMeter& energy() const noexcept { return energy_; }
   Mobility& mobility() noexcept { return *mobility_; }
+  [[nodiscard]] const Mobility& mobility() const noexcept { return *mobility_; }
 
   /// Send `packet` to link neighbor `next_hop` (kBroadcast for a one-hop
   /// broadcast). Runs the outbound filter chain first.

@@ -30,27 +30,39 @@ Scheduler::EventId Scheduler::schedule_at(Time t, std::function<void()> fn, Even
                "a timer warp must return a non-negative delay");
     t = now_ + warped;
   }
-  const EventId id = next_seq_++;
-  queue_.push(QueueEntry{t, id, id});
-  pending_.emplace(id, PendingEvent{std::move(fn), tag});
-  ICC_CHECK(pending_.size() <= queue_.size(),
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.tag = tag;
+  slot.live = true;
+  ++live_count_;
+  const EventId id = make_id(index, slot.gen);
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  ICC_CHECK(live_count_ <= queue_.size(),
             "every pending EventId must have a queue entry backing it");
   return id;
 }
 
-void Scheduler::execute(PendingEvent&& event) {
+void Scheduler::execute(std::function<void()>&& fn, EventTag tag) {
   ++executed_;
-  const auto tag = static_cast<std::size_t>(event.tag);
-  ++profile_.executed[tag];
+  ++profile_.executed[static_cast<std::size_t>(tag)];
   if (profiling_) {
     // detlint:allow(wall-clock): profiler measures host cost only; results never reach simulated state
     const auto t0 = std::chrono::steady_clock::now();
-    event.fn();
+    fn();
     // detlint:allow(wall-clock): profiler measures host cost only; results never reach simulated state
     const auto t1 = std::chrono::steady_clock::now();
-    profile_.wall_seconds[tag] += std::chrono::duration<double>(t1 - t0).count();
+    profile_.wall_seconds[static_cast<std::size_t>(tag)] +=
+        std::chrono::duration<double>(t1 - t0).count();
   } else {
-    event.fn();
+    fn();
   }
 }
 
@@ -60,17 +72,18 @@ void Scheduler::run_until(Time end) {
     if (top.time > end) break;
     ICC_ASSERT(top.time >= now_, "event time monotonicity: the queue must never yield an "
                                  "event scheduled before the current simulated time");
-    ICC_ASSERT(top.id < next_seq_, "queue entries must reference ids the scheduler issued");
+    ICC_ASSERT(top.seq < next_seq_, "queue entries must reference ids the scheduler issued");
     queue_.pop();
-    auto it = pending_.find(top.id);
-    if (it == pending_.end()) continue;  // cancelled
-    PendingEvent event = std::move(it->second);
-    pending_.erase(it);
+    Slot* slot = live_slot(top.id);
+    if (slot == nullptr) continue;  // cancelled
+    std::function<void()> fn = std::move(slot->fn);
+    const EventTag tag = slot->tag;
+    release(*slot, static_cast<std::uint32_t>(top.id & 0xffffffffu));
     now_ = top.time;
-    execute(std::move(event));
+    execute(std::move(fn), tag);
   }
-  ICC_CHECK(!queue_.empty() || pending_.empty(),
-            "stale EventId: pending_ retains entries after the queue drained");
+  ICC_CHECK(!queue_.empty() || live_count_ == 0,
+            "stale EventId: live slots remain after the queue drained");
   if (now_ < end) now_ = end;
 }
 
@@ -79,16 +92,17 @@ void Scheduler::run_all() {
     const QueueEntry top = queue_.top();
     ICC_ASSERT(top.time >= now_, "event time monotonicity: the queue must never yield an "
                                  "event scheduled before the current simulated time");
-    ICC_ASSERT(top.id < next_seq_, "queue entries must reference ids the scheduler issued");
+    ICC_ASSERT(top.seq < next_seq_, "queue entries must reference ids the scheduler issued");
     queue_.pop();
-    auto it = pending_.find(top.id);
-    if (it == pending_.end()) continue;
-    PendingEvent event = std::move(it->second);
-    pending_.erase(it);
+    Slot* slot = live_slot(top.id);
+    if (slot == nullptr) continue;
+    std::function<void()> fn = std::move(slot->fn);
+    const EventTag tag = slot->tag;
+    release(*slot, static_cast<std::uint32_t>(top.id & 0xffffffffu));
     now_ = top.time;
-    execute(std::move(event));
+    execute(std::move(fn), tag);
   }
-  ICC_CHECK(pending_.empty(), "stale EventId: pending_ retains entries after the queue drained");
+  ICC_CHECK(live_count_ == 0, "stale EventId: live slots remain after the queue drained");
 }
 
 }  // namespace icc::sim

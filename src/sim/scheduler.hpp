@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/check.hpp"
@@ -80,10 +79,13 @@ class Scheduler {
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// harmless no-op, which keeps timer bookkeeping in protocol code simple.
-  void cancel(EventId id) { pending_.erase(id); }
+  void cancel(EventId id) {
+    Slot* slot = live_slot(id);
+    if (slot != nullptr) release(*slot, static_cast<std::uint32_t>(id & 0xffffffffu));
+  }
 
   /// Whether an event is still pending.
-  [[nodiscard]] bool pending(EventId id) const { return pending_.count(id) != 0; }
+  [[nodiscard]] bool pending(EventId id) const { return live_slot(id) != nullptr; }
 
   /// Fault-injection hook (slow/stuck timers): maps the delay of every
   /// newly scheduled event to a possibly stretched one, given the current
@@ -118,9 +120,19 @@ class Scheduler {
 #endif
 
  private:
-  struct PendingEvent {
+  // Pending closures live in a slab of reusable slots rather than a hash map:
+  // scheduling and executing an event is then free-list bookkeeping instead
+  // of a node allocation plus a hash lookup, which matters at millions of
+  // events per run. An EventId encodes (generation << 32 | slot); the
+  // generation is bumped every time a slot is released, so a stale id for a
+  // reused slot no longer matches and cancel()/pending() on it are the
+  // documented no-ops. Slot reuse follows LIFO free-list order, which is a
+  // pure function of the event schedule — ids stay deterministic run to run.
+  struct Slot {
     std::function<void()> fn;
     EventTag tag{EventTag::kGeneric};
+    std::uint32_t gen{1};
+    bool live{false};
   };
 
   struct QueueEntry {
@@ -133,7 +145,30 @@ class Scheduler {
     }
   };
 
-  void execute(PendingEvent&& event);
+  [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(gen) << 32) | slot;  // gen >= 1, so id != kNoEvent
+  }
+
+  /// The slot behind `id` iff it is still live and of the same generation.
+  [[nodiscard]] const Slot* live_slot(EventId id) const noexcept {
+    const std::uint64_t index = id & 0xffffffffu;
+    if (index >= slots_.size()) return nullptr;
+    const Slot& slot = slots_[index];
+    return slot.live && slot.gen == (id >> 32) ? &slot : nullptr;
+  }
+  [[nodiscard]] Slot* live_slot(EventId id) noexcept {
+    return const_cast<Slot*>(static_cast<const Scheduler*>(this)->live_slot(id));
+  }
+
+  void release(Slot& slot, std::uint32_t index) {
+    slot.fn = nullptr;  // drop captures now, not at slot-reuse time
+    slot.live = false;
+    ++slot.gen;
+    free_slots_.push_back(index);
+    --live_count_;
+  }
+
+  void execute(std::function<void()>&& fn, EventTag tag);
 
   Time now_{0.0};
   TimerWarp warp_;
@@ -142,7 +177,9 @@ class Scheduler {
   bool profiling_{false};
   SchedulerProfile profile_{};
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<EventId, PendingEvent> pending_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_{0};
 };
 
 }  // namespace icc::sim

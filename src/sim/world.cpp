@@ -1,14 +1,29 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
 namespace icc::sim {
 
+namespace {
+/// Movement budget a binned node may consume before re-binning, as a
+/// fraction of the grid cell size. Smaller slack widens nothing: it shrinks
+/// the query window (radius + slack) and therefore the candidate count,
+/// while re-bin deadlines stay tens of seconds apart at vehicular speeds —
+/// re-binning is measured in hundreds of ops per simulated second against
+/// millions of scheduler events. See DESIGN.md §11 for the trade-off.
+constexpr double kGridSlackFraction = 0.1;
+}  // namespace
+
 World::World(WorldConfig config)
     : config_{config},
       medium_{*this, config.tx_range, config.tx_range * config.cs_range_factor},
-      rng_{config.seed} {
+      rng_{config.seed},
+      grid_{*this, config.width, config.height,
+            std::max(config.tx_range, config.tx_range * config.cs_range_factor),
+            kGridSlackFraction *
+                std::max(config.tx_range, config.tx_range * config.cs_range_factor)} {
   tracer_.configure_from_env();
   // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); profiling toggle only
   const char* profile = std::getenv("ICC_PROFILE");
@@ -21,16 +36,25 @@ Node& World::add_node(std::unique_ptr<Mobility> mobility) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(*this, id, std::move(mobility), config_.mac));
   nodes_.back()->mobility().start(sched_);
+  bump_position_epoch();  // the spatial index must pick the node up
   return *nodes_.back();
 }
 
-std::vector<NodeId> World::true_neighbors(NodeId id) const {
-  std::vector<NodeId> out;
-  const Vec2 p = node(id).position();
-  for (NodeId i = 0; i < num_nodes(); ++i) {
-    if (i == id || node(i).down()) continue;
-    if (distance(p, node(i).position()) <= config_.tx_range) out.push_back(i);
+void World::nodes_within(Vec2 center, double radius, std::vector<NodeId>& out) const {
+  if (config_.spatial_grid) {
+    grid_.query(center, radius, now(), out);
+    return;
   }
+  out.clear();
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (distance(center, node(i).position()) <= radius) out.push_back(i);
+  }
+}
+
+std::vector<NodeId> World::true_neighbors(NodeId id, bool live_only) const {
+  std::vector<NodeId> out;
+  nodes_within(node(id).position(), config_.tx_range, out);
+  std::erase_if(out, [&](NodeId i) { return i == id || (live_only && node(i).down()); });
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/energy.hpp"
+#include "sim/grid.hpp"
 #include "sim/mac.hpp"
 #include "sim/medium.hpp"
 #include "sim/node.hpp"
@@ -28,6 +29,12 @@ struct WorldConfig {
   MacParams mac{};
   EnergyParams energy{};
   std::uint64_t seed{1};
+  /// Answer radio neighbor queries from the uniform-grid spatial index
+  /// (sim/grid.hpp) instead of a brute-force all-nodes scan. Results are
+  /// bit-for-bit identical either way (the grid applies the same exact
+  /// distance predicate in the same NodeId order); the flag exists so
+  /// equivalence tests and the scale_sweep bench can measure the old path.
+  bool spatial_grid{true};
 };
 
 class World {
@@ -66,10 +73,30 @@ class World {
 
   std::uint64_t next_packet_uid() noexcept { return next_uid_++; }
 
-  /// Ground-truth one-hop neighbors (within tx_range) of `id` right now.
-  /// Used by tests and by the dealer for oracle checks — never by protocol
-  /// code, which must rely on the Secure Topology Service.
-  [[nodiscard]] std::vector<NodeId> true_neighbors(NodeId id) const;
+  /// Ground-truth one-hop neighbors (within tx_range) of `id` right now, in
+  /// ascending NodeId order. Used by tests and by the dealer for oracle
+  /// checks — never by protocol code, which must rely on the Secure
+  /// Topology Service. `live_only` (the default, and the historical
+  /// behavior) excludes crashed nodes — a down() radio is a physical
+  /// neighbor but not a reachable one; pass false to get every node in
+  /// range regardless of up/down state (e.g. to reason about where a
+  /// crashed node sits in the topology).
+  [[nodiscard]] std::vector<NodeId> true_neighbors(NodeId id, bool live_only = true) const;
+
+  /// Append to `out` every node (up or down, including any node at `center`
+  /// itself) whose current position is within `radius` of `center`, in
+  /// ascending NodeId order. Served by the spatial index when
+  /// config().spatial_grid is set, by a brute-force scan otherwise —
+  /// byte-identical results either way. `out` is cleared first.
+  void nodes_within(Vec2 center, double radius, std::vector<NodeId>& out) const;
+
+  /// Monotone counter identifying the current "position regime". The
+  /// spatial index rebuilds when it changes. World bumps it when nodes are
+  /// added; code that moves nodes outside their Mobility contract (e.g. a
+  /// test double teleporting mid-run or tightening max_speed) must call
+  /// bump_position_epoch() itself.
+  [[nodiscard]] std::uint64_t position_epoch() const noexcept { return position_epoch_; }
+  void bump_position_epoch() noexcept { ++position_epoch_; }
 
   /// Average per-node energy, in joules, consumed so far.
   [[nodiscard]] double mean_energy_joules() const;
@@ -83,6 +110,10 @@ class World {
   Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint64_t next_uid_{1};
+  std::uint64_t position_epoch_{1};
+  /// Lazily maintained cache over node positions; mutable because refreshing
+  /// it is logically const (queries through it are pure reads of the world).
+  mutable SpatialGrid grid_;
 };
 
 }  // namespace icc::sim

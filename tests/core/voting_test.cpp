@@ -14,9 +14,9 @@
 namespace icc::core {
 namespace {
 
-struct RawPayload final : sim::Payload {
+struct RawPayload final : sim::PayloadBase<RawPayload> {
+  static constexpr const char* kTag = "raw";
   int value{0};
-  [[nodiscard]] std::string tag() const override { return "raw"; }
 };
 
 class VotingTest : public ::testing::Test {

@@ -230,8 +230,8 @@ TEST_F(LedgerTest, ReportsEmitFaultTraceEvents) {
 
 // --------------------------------------------------------- injection engine
 
-struct CountingPayload final : sim::Payload {
-  [[nodiscard]] std::string tag() const override { return "count"; }
+struct CountingPayload final : sim::PayloadBase<CountingPayload> {
+  static constexpr const char* kTag = "count";
 };
 
 sim::Packet data_packet(sim::NodeId src, sim::NodeId dst) {

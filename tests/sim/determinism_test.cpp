@@ -16,6 +16,10 @@
 namespace icc {
 namespace {
 
+struct DummyPayload final : sim::PayloadBase<DummyPayload> {
+  static constexpr const char* kTag = "d";
+};
+
 TEST(Determinism, IdenticalSeedsGiveIdenticalWorlds) {
   const auto run = [](std::uint64_t seed) {
     sim::WorldConfig config;
@@ -83,10 +87,7 @@ TEST(CarrierSense, RangeFollowsConfiguration) {
     p.dst = sim::kBroadcast;
     p.port = sim::Port::kCbr;
     p.size_bytes = 1000;
-    struct Dummy final : sim::Payload {
-      [[nodiscard]] std::string tag() const override { return "d"; }
-    };
-    p.body = std::make_shared<Dummy>();
+    p.body = std::make_shared<DummyPayload>();
     world.node(0).link_send(sim::Packet{p}, sim::kBroadcast);
     world.run_until(0.001);  // node 0 now mid-transmission
     EXPECT_EQ(world.medium().busy_at(1), factor > 2.0) << "factor " << factor;

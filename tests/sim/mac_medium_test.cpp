@@ -10,9 +10,9 @@
 namespace icc::sim {
 namespace {
 
-struct TestPayload final : Payload {
+struct TestPayload final : PayloadBase<TestPayload> {
+  static constexpr const char* kTag = "test";
   int value{0};
-  [[nodiscard]] std::string tag() const override { return "test"; }
 };
 
 Packet make_packet(NodeId src, NodeId dst, int value, std::uint32_t bytes = 100) {
