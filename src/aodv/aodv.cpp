@@ -100,6 +100,17 @@ void Aodv::send_data(sim::NodeId dest, DataMsg data) {
   packet.dst = dest;
   packet.port = sim::Port::kCbr;
   packet.size_bytes = data.app_bytes + kDataHeaderBytes;
+  // The packet's span is the application uid, assigned here rather than at
+  // first link_send so a buffered packet already has an identity for the
+  // discovery it triggers to point back at.
+  packet.uid = data.app_uid;
+  // The parent is fixed at origination too: a buffered packet flushed under
+  // the RREP's reception scope must not be re-parented onto the route reply
+  // it waited for — that would close a lineage cycle data -> rreq -> rrep
+  // -> data and leave the tree without a root.
+  if (node_.world().lineage_parent() != packet.uid) {
+    packet.parent = node_.world().lineage_parent();
+  }
   packet.body = std::make_shared<DataMsg>(data);
   node_.world().metrics().add(m_data_originated_);
   forward_data(packet, data);
@@ -121,13 +132,18 @@ void Aodv::forward_data(const sim::Packet& packet, const DataMsg&) {
       node_.world().stats().add("aodv.buffer_overflow");
     }
     pending.buffered.push_back(packet);
-    if (pending.attempts == 0) start_discovery(dest);
+    if (pending.attempts == 0) {
+      // The discovery's RREQ descends from the data packet that needs it.
+      sim::LineageScope lineage{node_.world(), packet.uid};
+      start_discovery(dest);
+    }
     return;
   }
   // Intermediate node lost the route: drop and report.
   node_.world().metrics().add(m_data_dropped_no_route_);
   node_.world().tracer().emit({now(), sim::TraceType::kPacketDrop, node_.id(), packet.src,
-                               packet.uid, packet.size_bytes, 0.0, "no_route"});
+                               packet.uid, packet.size_bytes, 0.0, "no_route", packet.uid,
+                               packet.parent});
   if (params_.send_rerr) {
     auto rerr = std::make_shared<RerrMsg>();
     const auto rit = routes_.find(dest);
@@ -175,6 +191,10 @@ void Aodv::retry_discovery(sim::NodeId dest) {
   const auto it = pending_.find(dest);
   if (it == pending_.end()) return;
   PendingDiscovery& pending = it->second;
+  // The timer lost the lineage context; a retry RREQ still descends from the
+  // oldest packet waiting on the route.
+  sim::LineageScope lineage{
+      node_.world(), pending.buffered.empty() ? 0 : pending.buffered.front().uid};
   if (pending.attempts > params_.rreq_retries) {
     drop_buffered(dest);
     return;
@@ -205,10 +225,15 @@ void Aodv::broadcast_rreq(const RreqMsg& rreq) {
   packet.port = sim::Port::kAodv;
   packet.size_bytes = RreqMsg::kWireSize;
   packet.body = std::make_shared<RreqMsg>(rreq);
+  // Pre-stamp so the rreq_sent event carries the same span the packet will
+  // have on the air (link_send would only stamp it after this emit).
+  packet.uid = node_.world().next_packet_uid();
+  packet.parent = node_.world().lineage_parent();
   node_.world().metrics().add(m_rreq_sent_);
   node_.world().tracer().emit({now(), sim::TraceType::kRouteRreqSent, node_.id(), rreq.dest,
                                rreq.rreq_id, RreqMsg::kWireSize,
-                               static_cast<double>(rreq.hop_count), nullptr});
+                               static_cast<double>(rreq.hop_count), nullptr, packet.uid,
+                               packet.parent});
   node_.link_send(std::move(packet), sim::kBroadcast);
 }
 
@@ -218,6 +243,10 @@ void Aodv::flush_buffer(sim::NodeId dest) {
   node_.world().sched().cancel(it->second.retry_event);
   std::deque<sim::Packet> buffered = std::move(it->second.buffered);
   pending_.erase(it);
+  // Buffered packets carry their origination-time lineage; clear the ambient
+  // context (usually the RREP that resolved the discovery) so a root packet
+  // with parent 0 is not adopted by the reply it triggered.
+  sim::LineageScope lineage{node_.world(), 0};
   for (sim::Packet& packet : buffered) {
     const auto* data = packet.body_as<DataMsg>();
     if (data != nullptr) forward_data(packet, *data);
@@ -233,7 +262,7 @@ void Aodv::drop_buffered(sim::NodeId dest) {
                               static_cast<double>(it->second.buffered.size()));
   node_.world().tracer().emit({now(), sim::TraceType::kRouteDiscoveryFailed, node_.id(), dest,
                                0, 0, static_cast<double>(it->second.buffered.size()),
-                               "retries_exhausted"});
+                               "retries_exhausted", 0, node_.world().lineage_parent()});
   pending_.erase(it);
 }
 
@@ -300,11 +329,17 @@ void Aodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
   }
 
   // Re-flood with a small jitter to de-synchronize neighboring rebroadcasts.
+  // The timer callback loses the reception scope, so capture the cause (the
+  // RREQ packet we are re-flooding) and re-establish it.
   RreqMsg fwd = rreq;
   fwd.hop_count += 1;
-  node_.world().sched().schedule_in(rng_.uniform(0.0, 0.01), [this, fwd] {
-    broadcast_rreq(fwd);
-  }, sim::EventTag::kRouting);
+  node_.world().sched().schedule_in(
+      rng_.uniform(0.0, 0.01),
+      [this, fwd, cause = node_.world().lineage_parent()] {
+        sim::LineageScope lineage{node_.world(), cause};
+        broadcast_rreq(fwd);
+      },
+      sim::EventTag::kRouting);
 }
 
 void Aodv::send_rrep_towards(const RrepMsg& rrep) {
@@ -320,10 +355,13 @@ void Aodv::send_rrep_towards(const RrepMsg& rrep) {
   packet.port = sim::Port::kAodv;
   packet.size_bytes = RrepMsg::kWireSize;
   packet.body = std::make_shared<RrepMsg>(rrep);
+  packet.uid = node_.world().next_packet_uid();
+  packet.parent = node_.world().lineage_parent();
   node_.world().metrics().add(m_rrep_sent_);
   node_.world().tracer().emit({now(), sim::TraceType::kRouteRrepSent, node_.id(),
-                               it->second.next_hop, 0, RrepMsg::kWireSize,
-                               static_cast<double>(rrep.hop_count), nullptr});
+                               it->second.next_hop, packet.uid, RrepMsg::kWireSize,
+                               static_cast<double>(rrep.hop_count), nullptr, packet.uid,
+                               packet.parent});
   node_.link_send(std::move(packet), it->second.next_hop);
 }
 
@@ -333,7 +371,8 @@ void Aodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
 
   if (rrep.orig == node_.id()) {
     node_.world().tracer().emit({now(), sim::TraceType::kRouteDiscovered, node_.id(), rrep.dest,
-                                 0, 0, static_cast<double>(rrep.hop_count + 1), nullptr});
+                                 0, 0, static_cast<double>(rrep.hop_count + 1), nullptr, 0,
+                                 node_.world().lineage_parent()});
     flush_buffer(rrep.dest);
     return;
   }
@@ -368,10 +407,13 @@ void Aodv::on_link_failure(const sim::Packet& packet, sim::NodeId next_hop) {
   // retry/timeout logic.
   if (packet.body_as<DataMsg>() == nullptr) return;
   node_.world().stats().add("aodv.link_failures");
+  // MAC retry exhaustion arrives via timer, outside any reception scope: the
+  // RERR flood and salvage rediscovery below descend from the failed packet.
+  sim::LineageScope lineage{node_.world(), packet.uid};
   // The exhausted MAC retry is how a crashed/out-of-range next hop shows up
   // to routing — report it as a detected node fault (innocent mobility also
   // trips this; the ledger's capped rows absorb the over-reporting).
-  fault::report_detected(node_.world(), fault::FaultClass::kNode, next_hop);
+  fault::report_detected(node_.world(), fault::FaultClass::kNode, next_hop, 0, packet.uid);
 
   RerrMsg rerr;
   for (auto& [dest, entry] : routes_) {

@@ -11,6 +11,7 @@
 #include "core/framework.hpp"
 #include "crypto/model_scheme.hpp"
 #include "crypto/pki.hpp"
+#include "sim/flight.hpp"
 #include "sim/world.hpp"
 #include "traffic/cbr.hpp"
 
@@ -143,6 +144,11 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   const fault::CoverageLedger ledger{world};
   result.coverage = ledger.rows();
   result.coverage_consistent = ledger.consistent();
+  // A ledger violation is a post-mortem situation: dump the flight recorder
+  // while the world (and its recent history) is still alive.
+  if (!result.coverage_consistent) {
+    sim::dump_all_flight_recorders("coverage-ledger inconsistency");
+  }
   result.node_energy_j.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const double e = world.node(static_cast<sim::NodeId>(i))

@@ -48,9 +48,13 @@ bool AodvGuard::check(sim::NodeId center, const core::Value& value) {
                               is_valid_forwarder(center, decoded->first.dest,
                                                  decoded->first.dest_seq));
   // A rejected checkVal is the guard *detecting* an implausible route claim
-  // from the center — the coverage ledger attributes it to that node.
+  // from the center — the coverage ledger attributes it to that node. Its
+  // lineage parent is whatever packet carried the claim (the propose being
+  // checked, via the reception scope).
   if (!ok) {
-    fault::report_detected(aodv_.node().world(), fault::FaultClass::kProtocol, center);
+    sim::World& world = aodv_.node().world();
+    fault::report_detected(world, fault::FaultClass::kProtocol, center, 0,
+                           world.lineage_parent());
   }
   return ok;
 }

@@ -35,7 +35,7 @@ Watchdog::Watchdog(Aodv& aodv, Params params)
       // Ignoring a convicted node's route advertisement is the pathrater's
       // neutralization: the attack was detected earlier, and this stops it
       // from re-poisoning the route table.
-      fault::report_neutralized(world, fault::FaultClass::kProtocol, from);
+      fault::report_neutralized(world, fault::FaultClass::kProtocol, from, 0, packet.uid);
       return sim::FilterVerdict::kDrop;
     }
     return sim::FilterVerdict::kPass;
@@ -66,28 +66,33 @@ void Watchdog::check_pending(std::uint64_t uid) {
   if (it == pending_.end()) return;
   const sim::NodeId suspect = it->second.next_hop;
   pending_.erase(it);
-  charge_failure(suspect);
+  charge_failure(suspect, uid);
 }
 
-void Watchdog::charge_failure(sim::NodeId suspect) {
+void Watchdog::charge_failure(sim::NodeId suspect, std::uint64_t watched_span) {
   sim::World& world = aodv_.node().world();
   ++failures_charged_;
   world.metrics().add(m_failures_);
+  // The accusation gets its own span so the ledger booking and an eventual
+  // blacklist verdict can hang off it; its parent is the unforwarded packet.
+  const std::uint64_t accuse_span = world.next_span();
   // A charged forwarding failure is a *detection* of the suspect's
   // misbehavior (it may also fire on innocent collisions — the ledger's
   // capped rows absorb that over-reporting).
-  fault::report_detected(world, fault::FaultClass::kProtocol, suspect);
+  fault::report_detected(world, fault::FaultClass::kProtocol, suspect, 0, accuse_span);
   std::vector<sim::Time>& history = failures_[suspect];
   history.push_back(world.now());
   world.tracer().emit({world.now(), sim::TraceType::kWatchdogAccuse, aodv_.node().id(),
-                       suspect, 0, 0, static_cast<double>(history.size()), nullptr});
+                       suspect, 0, 0, static_cast<double>(history.size()), nullptr,
+                       accuse_span, watched_span});
   const sim::Time horizon = world.now() - params_.failure_window;
   std::erase_if(history, [horizon](sim::Time t) { return t < horizon; });
   if (static_cast<int>(history.size()) >= params_.tolerance &&
       blacklist_.insert(suspect).second) {
     world.metrics().add(m_blacklisted_);
     world.tracer().emit({world.now(), sim::TraceType::kWatchdogBlacklist, aodv_.node().id(),
-                         suspect, 0, 0, static_cast<double>(history.size()), nullptr});
+                         suspect, 0, 0, static_cast<double>(history.size()), nullptr, 0,
+                         accuse_span});
     aodv_.invalidate_routes_via(suspect);
   }
 }

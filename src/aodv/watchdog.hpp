@@ -43,7 +43,9 @@ class Watchdog {
   void on_outbound_data(const sim::Packet& packet, sim::NodeId next_hop);
   void on_overheard(const sim::Frame& frame);
   void check_pending(std::uint64_t uid);
-  void charge_failure(sim::NodeId suspect);
+  /// `watched_span` is the uid of the packet the suspect failed to forward —
+  /// the accusation's lineage parent.
+  void charge_failure(sim::NodeId suspect, std::uint64_t watched_span);
 
   struct Pending {
     sim::NodeId next_hop{sim::kNoNode};

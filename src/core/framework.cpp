@@ -59,7 +59,10 @@ sim::FilterVerdict InnerCircleNode::filter_outbound(const sim::Packet& packet,
       // Redirect to the voting service (Fig 1: matching outgoing messages
       // are handed to the inner-circle services instead of the link layer).
       node_.world().stats().add("icc.outgoing_intercepted");
-      ivs_.initiate(config_.mode, config_.level, rule.extract(packet, next_hop));
+      // The voting round descends from the intercepted packet (its uid is
+      // already stamped: link_send stamps before the filter chain runs).
+      ivs_.initiate(config_.mode, config_.level, rule.extract(packet, next_hop),
+                    packet.uid);
       return sim::FilterVerdict::kConsumed;
     }
   }
@@ -74,15 +77,18 @@ sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
   if (suspicions_.convicted(from)) {
     node_.world().stats().add("icc.suppressed_convicted");
     node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
-                                 packet.uid, packet.size_bytes, 0.0, "suppressed_convicted"});
-    fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from);
+                                 packet.uid, packet.size_bytes, 0.0, "suppressed_convicted",
+                                 packet.uid, packet.parent});
+    fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from, 0,
+                              packet.uid);
     return sim::FilterVerdict::kDrop;
   }
   const bool suspected = suspicions_.suspected(from, now);
   if (suspected && packet.port == sim::Port::kIvs) {
     node_.world().stats().add("icc.suppressed_suspected");
     node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
-                                 packet.uid, packet.size_bytes, 0.0, "suppressed_suspected"});
+                                 packet.uid, packet.size_bytes, 0.0, "suppressed_suspected",
+                                 packet.uid, packet.parent});
     return sim::FilterVerdict::kDrop;
   }
   for (const IncomingMatcher& match : incoming_rules_) {
@@ -91,14 +97,17 @@ sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
       // off the air — only its agreed, signature-checked form is.
       node_.world().stats().add("icc.suppressed_raw");
       node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
-                                   packet.uid, packet.size_bytes, 0.0, "suppressed_raw"});
+                                   packet.uid, packet.size_bytes, 0.0, "suppressed_raw",
+                                   packet.uid, packet.parent});
       // Discarding the raw template message is both the detection (the
       // template violation is the observed symptom) and the masking
       // neutralization (§3): a forged RREP never reaches the routing
       // service. Attributed to the sender — for the black hole that is the
       // attacker itself.
-      fault::report_detected(node_.world(), fault::FaultClass::kProtocol, from);
-      fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from);
+      fault::report_detected(node_.world(), fault::FaultClass::kProtocol, from, 0,
+                             packet.uid);
+      fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from, 0,
+                                packet.uid);
       return sim::FilterVerdict::kDrop;
     }
   }

@@ -7,6 +7,20 @@
 
 namespace icc::core {
 
+namespace {
+
+// The SuspicionsManager is world-agnostic, so the trace record of a
+// suspicion/conviction is emitted here at the decision site. Each gets its
+// own span; the parent is the packet being processed (the lineage scope the
+// inbound handler established), i.e. the evidence.
+void trace_suspicion(sim::World& world, sim::NodeId accuser, sim::NodeId suspect,
+                     sim::TraceType type, const char* reason) {
+  world.tracer().emit({world.now(), type, accuser, suspect, 0, 0, 0.0, reason,
+                       world.next_span(), world.lineage_parent()});
+}
+
+}  // namespace
+
 IvsService::IvsService(sim::Node& node, Params params, SecureTopologyService& sts,
                        SuspicionsManager& suspicions, crypto::ThresholdScheme& scheme,
                        std::unique_ptr<crypto::ThresholdSigner> signer, crypto::Pki& pki,
@@ -61,17 +75,20 @@ Value IvsService::fuse_sorted(std::vector<ValueMsg> evidence) const {
 
 // ------------------------------------------------------------- center side
 
-std::uint64_t IvsService::initiate(VotingMode mode, int level, Value value) {
+std::uint64_t IvsService::initiate(VotingMode mode, int level, Value value,
+                                   std::uint64_t parent_span) {
   const std::uint64_t round_id = next_round_++;
   Round& round = rounds_[round_id];
   round.mode = mode;
   round.level = level;
   round.center_value = std::move(value);
+  round.span = node_.world().next_span();
   node_.world().stats().add("ivs.rounds_started");
   node_.world().tracer().emit({now(), sim::TraceType::kVoteRoundStart, node_.id(), sim::kNoNode,
                                round_id, 0, static_cast<double>(level),
                                mode == VotingMode::kDeterministic ? "deterministic"
-                                                                  : "statistical"});
+                                                                  : "statistical",
+                               round.span, parent_span});
 
   const auto circle =
       params_.circle_hops >= 2 ? sts_.two_hop_circle() : sts_.inner_circle();
@@ -161,10 +178,11 @@ void IvsService::abort_round(std::uint64_t round_id) {
   if (it == rounds_.end()) return;
   node_.world().sched().cancel(it->second.timeout);
   const Value value = std::move(it->second.center_value);
+  const std::uint64_t round_span = it->second.span;
   rounds_.erase(it);
   node_.world().stats().add("ivs.rounds_aborted");
   node_.world().tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
-                               round_id, 0, 0.0, "aborted"});
+                               round_id, 0, 0.0, "aborted", round_span, 0});
   if (callbacks_.on_abort) callbacks_.on_abort(round_id, value);
 }
 
@@ -196,6 +214,8 @@ void IvsService::handle_value(const ValueMsg& msg, sim::NodeId from) {
                    ValueMsg::value_bytes(node_.id(), msg.round, msg.sender, msg.value),
                    msg.sig)) {
     suspicions_.suspect_temporarily(from, now(), "bad value signature");
+    trace_suspicion(node_.world(), node_.id(), from, sim::TraceType::kSuspect,
+                    "bad_value_signature");
     return;
   }
 
@@ -239,6 +259,8 @@ void IvsService::handle_ack(const AckMsg& msg, sim::NodeId from) {
   charge_crypto(params_.cost.verify_delay);
   if (!scheme_.verify_partial(signed_bytes, msg.psig)) {
     suspicions_.suspect_temporarily(msg.sender, now(), "bad partial signature");
+    trace_suspicion(node_.world(), node_.id(), msg.sender, sim::TraceType::kSuspect,
+                    "bad_partial_signature");
     return;
   }
   (void)from;
@@ -276,10 +298,15 @@ void IvsService::complete_round(std::uint64_t round_id, Round& round) {
   agreed->sig = std::move(*sig);
 
   node_.world().sched().cancel(round.timeout);
+  // `round` references the map node: copy everything the emit needs before
+  // erase invalidates it.
+  const int level = round.level;
+  const std::uint64_t round_span = round.span;
   rounds_.erase(round_id);
   node_.world().stats().add("ivs.rounds_completed");
   node_.world().tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
-                               round_id, 0, static_cast<double>(round.level), "completed"});
+                               round_id, 0, static_cast<double>(level), "completed",
+                               round_span, 0});
 
   // "c assembles an agreed message and sends it to all its inner-circle
   // nodes" — participants learn the outcome (Fig 6's onAgreed updates).
@@ -357,6 +384,8 @@ void IvsService::handle_propose(const ProposeMsg& msg, sim::NodeId from) {
       msg.center_sig);
   if (!center_sig_ok) {
     suspicions_.suspect_temporarily(from, now(), "bad propose signature");
+    trace_suspicion(node_.world(), node_.id(), from, sim::TraceType::kSuspect,
+                    "bad_propose_signature");
     return;
   }
 
@@ -396,6 +425,8 @@ void IvsService::handle_propose(const ProposeMsg& msg, sim::NodeId from) {
     const Value recomputed = fuse_sorted(msg.evidence);
     if (recomputed != msg.value) {
       suspicions_.convict(msg.center, "statistical fusion mismatch");
+      trace_suspicion(node_.world(), node_.id(), msg.center, sim::TraceType::kConvict,
+                      "fusion_mismatch");
       node_.world().stats().add("ivs.fusion_rejected");
       return;
     }
@@ -436,6 +467,8 @@ void IvsService::handle_agreed(const AgreedMsg& msg, sim::NodeId from) {
   charge_crypto(params_.cost.verify_delay);
   if (!verify_agreed(msg)) {
     suspicions_.suspect_temporarily(from, now(), "invalid agreed signature");
+    trace_suspicion(node_.world(), node_.id(), from, sim::TraceType::kSuspect,
+                    "invalid_agreed_signature");
     node_.world().stats().add("ivs.agreed_rejected");
     return;
   }

@@ -51,7 +51,11 @@ class IvsService {
   /// Center API: start a voting round over `value` (deterministic) or with
   /// `value` as the solicit topic / own observation (statistical). Returns
   /// the round id. The round resolves through on_agreed / on_abort.
-  std::uint64_t initiate(VotingMode mode, int level, Value value);
+  /// `parent_span` optionally links the round to the packet (or other trace
+  /// span) that caused it, so lineage reconstruction can walk from an
+  /// intercepted packet to the round's verdict.
+  std::uint64_t initiate(VotingMode mode, int level, Value value,
+                         std::uint64_t parent_span = 0);
 
   /// Packet entry point (Port::kIvs), wired up by the framework.
   void handle_packet(const sim::Packet& packet, sim::NodeId from);
@@ -76,6 +80,7 @@ class IvsService {
     std::vector<ValueMsg> evidence;  ///< statistical: signed observations
     std::set<sim::NodeId> value_senders;
     sim::Scheduler::EventId timeout{sim::Scheduler::kNoEvent};
+    std::uint64_t span{0};  ///< lineage span naming this round in the trace
   };
 
   // --- center side ---

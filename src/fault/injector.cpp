@@ -108,21 +108,25 @@ sim::DeliveryVerdict InjectionEngine::on_delivery(const sim::Frame& frame, sim::
     const bool lost = (f.mean_bad_s > 0.0 && burst_bad(i, now)) ||
                       (f.loss_prob > 0.0 && channel_rng_.chance(f.loss_prob));
     if (lost) {
-      report_injected(world_, FaultClass::kChannel, rx);
+      // The injection gets its own span; its parent is the frame it killed,
+      // so lineage reconstruction shows *why* a delivery never happened.
+      const std::uint64_t inj_span = world_.next_span();
+      report_injected(world_, FaultClass::kChannel, rx, inj_span, frame.packet.uid);
       // A lost unicast frame starves the sender's ack machinery, which
       // retries and ultimately reports the failure: detected. A lost
       // broadcast vanishes without a witness: escaped.
       if (frame.rx != sim::kBroadcast) {
-        report_detected(world_, FaultClass::kChannel, frame.tx);
+        report_detected(world_, FaultClass::kChannel, frame.tx, 0, inj_span);
       }
       return sim::DeliveryVerdict::kDrop;
     }
     const bool damaged = (f.bitflip_prob > 0.0 && channel_rng_.chance(f.bitflip_prob)) ||
                          (f.truncate_prob > 0.0 && channel_rng_.chance(f.truncate_prob));
     if (damaged) {
-      report_injected(world_, FaultClass::kChannel, rx);
+      const std::uint64_t inj_span = world_.next_span();
+      report_injected(world_, FaultClass::kChannel, rx, inj_span, frame.packet.uid);
       // The CRC catches damaged payloads at the end of the reception.
-      report_detected(world_, FaultClass::kChannel, rx);
+      report_detected(world_, FaultClass::kChannel, rx, 0, inj_span);
       return sim::DeliveryVerdict::kCorrupt;
     }
   }
@@ -135,7 +139,9 @@ void InjectionEngine::apply_down(std::size_t spec) {
   sim::Node& node = world_.node(f.node);
   if (want_down == node.down()) return;
   node.set_down(want_down);
-  if (want_down) report_injected(world_, FaultClass::kNode, f.node);
+  if (want_down) {
+    report_injected(world_, FaultClass::kNode, f.node, world_.next_span(), 0);
+  }
 }
 
 void InjectionEngine::schedule_down_edges(std::size_t spec) {
@@ -149,7 +155,9 @@ void InjectionEngine::schedule_down_edges(std::size_t spec) {
 
 void InjectionEngine::apply_slow(std::size_t spec) {
   const NodeFault& f = plan_.node[spec];
-  if (f.slow.active_at(world_.now())) report_injected(world_, FaultClass::kNode, f.node);
+  if (f.slow.active_at(world_.now())) {
+    report_injected(world_, FaultClass::kNode, f.node, world_.next_span(), 0);
+  }
 }
 
 void InjectionEngine::schedule_slow_edges(std::size_t spec) {

@@ -22,13 +22,13 @@ std::string stage_counter_name(FaultClass c, Stage stage) {
 }
 
 void report(sim::World& world, FaultClass c, sim::NodeId node, Stage stage,
-            sim::TraceType type) {
+            sim::TraceType type, std::uint64_t span, std::uint64_t parent) {
   auto& metrics = world.metrics();
   const std::string base = stage_counter_name(c, stage);
   metrics.add(metrics.counter_id(base));
   if (node != sim::kNoNode) metrics.add(metrics.node_counter_id(base, node));
   world.tracer().emit({world.now(), type, node, sim::kNoNode, 0, 0, 0.0,
-                       fault_class_name(c)});
+                       fault_class_name(c), span, parent});
 }
 
 }  // namespace
@@ -49,16 +49,19 @@ const char* fault_class_name(FaultClass c) noexcept {
   return "?";
 }
 
-void report_injected(sim::World& world, FaultClass c, sim::NodeId node) {
-  report(world, c, node, kInjected, sim::TraceType::kFaultInjected);
+void report_injected(sim::World& world, FaultClass c, sim::NodeId node,
+                     std::uint64_t span, std::uint64_t parent) {
+  report(world, c, node, kInjected, sim::TraceType::kFaultInjected, span, parent);
 }
 
-void report_detected(sim::World& world, FaultClass c, sim::NodeId node) {
-  report(world, c, node, kDetected, sim::TraceType::kFaultDetected);
+void report_detected(sim::World& world, FaultClass c, sim::NodeId node,
+                     std::uint64_t span, std::uint64_t parent) {
+  report(world, c, node, kDetected, sim::TraceType::kFaultDetected, span, parent);
 }
 
-void report_neutralized(sim::World& world, FaultClass c, sim::NodeId node) {
-  report(world, c, node, kNeutralized, sim::TraceType::kFaultNeutralized);
+void report_neutralized(sim::World& world, FaultClass c, sim::NodeId node,
+                        std::uint64_t span, std::uint64_t parent) {
+  report(world, c, node, kNeutralized, sim::TraceType::kFaultNeutralized, span, parent);
 }
 
 CoverageRow CoverageLedger::row(FaultClass c) const {

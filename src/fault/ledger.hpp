@@ -50,14 +50,22 @@ inline constexpr std::size_t kNumFaultClasses = static_cast<std::size_t>(FaultCl
 /// RREP left the attacker, a sensor reading was falsified. `node` is the
 /// node where the fault manifests (the victim receiver for channel faults,
 /// the faulty/malicious node otherwise).
-void report_injected(sim::World& world, FaultClass c, sim::NodeId node);
+///
+/// The optional lineage fields tie the booking into the causal trace
+/// (see sim/trace.hpp): `span` names the booking itself when the caller
+/// allocated one (World::next_span), `parent` points at the packet or
+/// accusation that caused it. Zero means "not linked".
+void report_injected(sim::World& world, FaultClass c, sim::NodeId node,
+                     std::uint64_t span = 0, std::uint64_t parent = 0);
 /// A defense observed a fault's effect (guard check failed, watchdog charged
 /// a failure, a route broke, fusion excluded a reading, CRC/ack caught a
 /// damaged frame).
-void report_detected(sim::World& world, FaultClass c, sim::NodeId node);
+void report_detected(sim::World& world, FaultClass c, sim::NodeId node,
+                     std::uint64_t span = 0, std::uint64_t parent = 0);
 /// A defense masked the effect before it could spread (raw RREP suppressed,
 /// pathrater rerouted, fused value agreed despite faulty readings).
-void report_neutralized(sim::World& world, FaultClass c, sim::NodeId node);
+void report_neutralized(sim::World& world, FaultClass c, sim::NodeId node,
+                        std::uint64_t span = 0, std::uint64_t parent = 0);
 
 /// One fault class's coverage totals with the capping above applied.
 struct CoverageRow {

@@ -14,6 +14,7 @@
 #include "sensor/app.hpp"
 #include "sensor/base_station.hpp"
 #include "sensor/diffusion.hpp"
+#include "sim/flight.hpp"
 #include "sim/world.hpp"
 
 namespace icc::sensor {
@@ -121,6 +122,11 @@ SensorExperimentResult run_sensor_experiment(const SensorExperimentConfig& confi
   const fault::CoverageLedger ledger{world};
   result.coverage = ledger.rows();
   result.coverage_consistent = ledger.consistent();
+  // A ledger violation is a post-mortem situation: dump the flight recorder
+  // while the world (and its recent history) is still alive.
+  if (!result.coverage_consistent) {
+    sim::dump_all_flight_recorders("coverage-ledger inconsistency");
+  }
   result.notifications = static_cast<std::uint64_t>(world.stats().get("sensor.notifications"));
   result.bs_detections = station.detections().size();
   result.bs_rejected = station.rejected();

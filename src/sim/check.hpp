@@ -29,10 +29,21 @@
 
 namespace icc::sim::detail {
 
+/// Pre-abort hook: the flight recorder (sim/flight.cpp) installs a dumper
+/// here when enabled, so a failed invariant leaves a post-mortem on disk. A
+/// plain function pointer keeps this header free of link-time dependencies —
+/// TUs that use ICC_ASSERT need not link the tracing code.
+using InvariantHook = void (*)(const char* kind);
+inline InvariantHook& invariant_hook() noexcept {
+  static InvariantHook hook = nullptr;
+  return hook;
+}
+
 [[noreturn]] inline void invariant_failed(const char* kind, const char* cond, const char* file,
                                           int line, const char* msg) {
   std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  %s\n", kind, cond, file, line, msg);
   std::fflush(stderr);
+  if (invariant_hook() != nullptr) invariant_hook()(kind);
   std::abort();
 }
 

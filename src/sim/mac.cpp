@@ -110,7 +110,8 @@ void Mac::on_ack_timeout() {
     const Frame frame = queue_.front();
     world_.tracer().emit({world_.sched().now(), TraceType::kMacSendFailed, node_.id(),
                           frame.rx, frame.packet.uid, frame.packet.size_bytes,
-                          static_cast<double>(retries_), "retry_limit"});
+                          static_cast<double>(retries_), "retry_limit", frame.packet.uid,
+                          frame.packet.parent});
     finish_current(false);
     if (on_send_failed_) on_send_failed_(frame.packet, frame.rx);
     return;
@@ -184,7 +185,8 @@ void Mac::handle_frame_arrival(Reception& rx) {
   const Frame& frame = rx.frame;
   if (!frame.is_ack && (frame.rx == node_.id() || frame.rx == kBroadcast)) {
     world_.tracer().emit({world_.sched().now(), TraceType::kPacketRx, node_.id(), frame.tx,
-                          frame.packet.uid, frame.packet.size_bytes, 0.0, nullptr});
+                          frame.packet.uid, frame.packet.size_bytes, 0.0, nullptr,
+                          frame.packet.uid, frame.packet.parent});
   }
   if (frame.is_ack) {
     if (frame.rx == node_.id() && in_progress_ && awaiting_ack_id_ == frame.frame_id) {

@@ -21,7 +21,8 @@ void Medium::begin_transmission(const Frame& frame, double duration) {
   ++frames_sent_;
   world_.tracer().emit({now, TraceType::kPacketTx, frame.tx, frame.rx, frame.packet.uid,
                         frame.packet.size_bytes, duration,
-                        frame.is_ack ? "ack" : nullptr});
+                        frame.is_ack ? "ack" : nullptr, frame.packet.uid,
+                        frame.packet.parent});
   const Vec2 tx_pos = world_.node(frame.tx).position();
   on_air_.emplace(now + duration, tx_pos);
   world_.nodes_within(tx_pos, tx_range_, rx_scratch_);
@@ -33,7 +34,8 @@ void Medium::begin_transmission(const Frame& frame, double duration) {
       switch (delivery_filter_(frame, i, now)) {
         case DeliveryVerdict::kDrop:
           world_.tracer().emit({now, TraceType::kPacketDrop, i, frame.tx, frame.packet.uid,
-                                frame.packet.size_bytes, 0.0, "channel_fault"});
+                                frame.packet.size_bytes, 0.0, "channel_fault",
+                                frame.packet.uid, frame.packet.parent});
           continue;
         case DeliveryVerdict::kCorrupt: {
           Frame damaged = frame;

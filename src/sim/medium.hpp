@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <vector>
 
@@ -43,6 +44,11 @@ class Medium {
 
   /// Total frames put on the air (all nodes).
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  /// Transmissions still in progress at `now` (air-table occupancy; expired
+  /// entries are skipped without being erased, so this is honestly const).
+  [[nodiscard]] std::size_t on_air_count(Time now) const {
+    return static_cast<std::size_t>(std::distance(on_air_.upper_bound(now), on_air_.end()));
+  }
   /// Frames destroyed by collisions (counted per victim reception).
   [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
   void count_collision() noexcept { ++collisions_; }

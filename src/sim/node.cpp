@@ -17,6 +17,9 @@ Vec2 Node::position() const { return mobility_->position(world_.now()); }
 
 void Node::link_send(Packet packet, NodeId next_hop) {
   if (down_) return;
+  // Stamp identity before the filters run: observers (watchdog, voting
+  // interception) see the same uid/parent the packet will carry on the air.
+  stamp_lineage(packet);
   for (const OutboundFilter& filter : outbound_filters_) {
     switch (filter(packet, next_hop)) {
       case FilterVerdict::kPass:
@@ -24,7 +27,8 @@ void Node::link_send(Packet packet, NodeId next_hop) {
       case FilterVerdict::kDrop:
         world_.metrics().add(outbound_dropped_id_);
         world_.tracer().emit({world_.now(), TraceType::kPacketDrop, id_, next_hop,
-                              packet.uid, packet.size_bytes, 0.0, "outbound_filter"});
+                              packet.uid, packet.size_bytes, 0.0, "outbound_filter",
+                              packet.uid, packet.parent});
         return;
       case FilterVerdict::kConsumed:
         return;
@@ -33,9 +37,18 @@ void Node::link_send(Packet packet, NodeId next_hop) {
   link_send_unfiltered(std::move(packet), next_hop);
 }
 
+void Node::stamp_lineage(Packet& packet) {
+  if (packet.uid == 0) packet.uid = world_.next_packet_uid();
+  // A forwarded packet keeps its original parent; inside its own reception
+  // scope the context equals its uid, which must not become a self-loop.
+  if (packet.parent == 0 && world_.lineage_parent() != packet.uid) {
+    packet.parent = world_.lineage_parent();
+  }
+}
+
 void Node::link_send_unfiltered(Packet packet, NodeId next_hop) {
   if (down_) return;
-  if (packet.uid == 0) packet.uid = world_.next_packet_uid();
+  stamp_lineage(packet);
   mac_->enqueue(std::move(packet), next_hop);
 }
 
@@ -51,6 +64,9 @@ void Node::frame_overheard(const Frame& frame) {
 void Node::frame_received(const Frame& frame) {
   if (down_) return;
   const Packet& packet = frame.packet;
+  // Everything done while processing this packet — filters, handlers, any
+  // packets they originate — is causally downstream of it.
+  LineageScope lineage{world_, packet.uid};
   for (const InboundFilter& filter : inbound_filters_) {
     switch (filter(packet, frame.tx)) {
       case FilterVerdict::kPass:
@@ -58,7 +74,8 @@ void Node::frame_received(const Frame& frame) {
       case FilterVerdict::kDrop:
         world_.metrics().add(inbound_dropped_id_);
         world_.tracer().emit({world_.now(), TraceType::kPacketDrop, id_, frame.tx,
-                              packet.uid, packet.size_bytes, 0.0, "inbound_filter"});
+                              packet.uid, packet.size_bytes, 0.0, "inbound_filter",
+                              packet.uid, packet.parent});
         return;
       case FilterVerdict::kConsumed:
         return;

@@ -82,6 +82,10 @@ class Node {
   [[nodiscard]] bool promiscuous() const noexcept { return !promiscuous_.empty(); }
 
  private:
+  /// Assign a uid if missing and inherit the current lineage context as the
+  /// packet's parent (idempotent; see Packet::parent).
+  void stamp_lineage(Packet& packet);
+
   World& world_;
   NodeId id_;
   std::unique_ptr<Mobility> mobility_;

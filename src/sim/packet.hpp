@@ -112,6 +112,12 @@ struct Packet {
   Port port{Port::kCbr}; ///< receiving handler demux key
   std::uint32_t size_bytes{0};  ///< simulated on-air size (headers included)
   std::uint64_t uid{0};         ///< unique packet id, assigned by World
+  /// Lineage: span of the event that caused this packet (the received RREQ
+  /// behind a re-flood, the data packet behind a discovery, ...). Stamped
+  /// from the world's lineage context at link_send time when still 0; a
+  /// packet's own span is its uid. Identity metadata only — no protocol
+  /// logic may branch on it.
+  std::uint64_t parent{0};
   std::shared_ptr<const Payload> body;
 
   /// Typed view of the body; returns nullptr when the body is another type.

@@ -106,6 +106,10 @@ class Scheduler {
   /// Number of events executed so far.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Number of events currently pending (scheduled, not yet fired or
+  /// cancelled). Health sampling reads this as the queue-depth signal.
+  [[nodiscard]] std::size_t pending_count() const noexcept { return live_count_; }
+
   /// Wall-clock profiling is off by default (one steady_clock read pair per
   /// event when on). The profile keeps accumulating across runs.
   void enable_profiling(bool on) noexcept { profiling_ = on; }

@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include "sim/flight.hpp"
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -41,11 +43,14 @@ constexpr std::array<TypeInfo, static_cast<std::size_t>(TraceType::kCount)> kTyp
     {"fault_injected", TraceCategory::kFault, 'f'},
     {"fault_detected", TraceCategory::kFault, 'e'},
     {"fault_neutralized", TraceCategory::kFault, 'e'},
+    {"suspect", TraceCategory::kSuspicion, 'e'},
+    {"convict", TraceCategory::kSuspicion, 'e'},
+    {"health_sample", TraceCategory::kHealth, 'h'},
 }};
 
 constexpr std::array<const char*, static_cast<std::size_t>(TraceCategory::kCount)>
     kCategoryNames{{"packet", "mac", "route", "voting", "watchdog", "fusion", "energy",
-                    "fault"}};
+                    "fault", "suspicion", "health"}};
 
 /// Fixed-precision time rendering: deterministic for identical doubles and
 /// sortable as text.
@@ -54,14 +59,19 @@ void format_time(char* buf, std::size_t n, Time t) { std::snprintf(buf, n, "%.9f
 /// One process-wide stream per trace file path: the first open truncates,
 /// every later World in the same process appends to the same stream. Keeps a
 /// multi-world driver's trace coherent and byte-reproducible across runs.
-std::ostream& shared_file_stream(const std::string& path) {
+std::ostream& shared_file_stream(const std::string& path, bool* first_open = nullptr) {
   static std::unordered_map<std::string, std::unique_ptr<std::ofstream>> streams;
   auto it = streams.find(path);
+  if (first_open != nullptr) *first_open = it == streams.end();
   if (it == streams.end()) {
     it = streams.emplace(path, std::make_unique<std::ofstream>(path, std::ios::trunc)).first;
     if (!*it->second) {
-      std::fprintf(stderr, "icc: cannot open ICC_TRACE_FILE '%s'; trace discarded\n",
+      // A requested-but-unwritable trace path is a fatal configuration
+      // error: silently discarding the trace would let a whole campaign run
+      // to completion and only then reveal there is nothing to analyze.
+      std::fprintf(stderr, "icc: fatal: cannot open trace file '%s' for writing\n",
                    path.c_str());
+      std::exit(EXIT_FAILURE);
     }
   }
   return *it->second;
@@ -85,7 +95,7 @@ void LineTraceSink::on_event(const TraceEvent& e) {
   const TypeInfo& info = kTypes[static_cast<std::size_t>(e.type)];
   char tbuf[32];
   format_time(tbuf, sizeof tbuf, e.t);
-  char line[256];
+  char line[384];
   int n = std::snprintf(line, sizeof line, "%c %s _%u_ %s %s", info.op, tbuf, e.node,
                         kCategoryNames[static_cast<std::size_t>(info.category)], info.name);
   const auto append = [&](const char* fmt, auto... args) {
@@ -97,6 +107,8 @@ void LineTraceSink::on_event(const TraceEvent& e) {
   if (e.uid != 0) append(" uid=%llu", static_cast<unsigned long long>(e.uid));
   if (e.size != 0) append(" size=%u", e.size);
   if (e.value != 0.0) append(" val=%.9g", e.value);
+  if (e.span != 0) append(" span=%llu", static_cast<unsigned long long>(e.span));
+  if (e.parent != 0) append(" parent=%llu", static_cast<unsigned long long>(e.parent));
   if (e.detail != nullptr) append(" %s", e.detail);
   out_ << line << '\n';
 }
@@ -105,7 +117,7 @@ void JsonlTraceSink::on_event(const TraceEvent& e) {
   const TypeInfo& info = kTypes[static_cast<std::size_t>(e.type)];
   char tbuf[32];
   format_time(tbuf, sizeof tbuf, e.t);
-  char line[320];
+  char line[448];
   int n = std::snprintf(line, sizeof line, "{\"t\":%s,\"type\":\"%s\",\"cat\":\"%s\",\"node\":%u",
                         tbuf, info.name,
                         kCategoryNames[static_cast<std::size_t>(info.category)], e.node);
@@ -118,9 +130,76 @@ void JsonlTraceSink::on_event(const TraceEvent& e) {
   if (e.uid != 0) append(",\"uid\":%llu", static_cast<unsigned long long>(e.uid));
   if (e.size != 0) append(",\"size\":%u", e.size);
   if (e.value != 0.0) append(",\"value\":%.9g", e.value);
+  if (e.span != 0) append(",\"span\":%llu", static_cast<unsigned long long>(e.span));
+  if (e.parent != 0) append(",\"parent\":%llu", static_cast<unsigned long long>(e.parent));
   if (e.detail != nullptr) append(",\"detail\":\"%s\"", e.detail);
   append("}");
   out_ << line << '\n';
+}
+
+void PerfettoTraceSink::on_event(const TraceEvent& e) {
+  const TypeInfo& info = kTypes[static_cast<std::size_t>(e.type)];
+  const char* cat = kCategoryNames[static_cast<std::size_t>(info.category)];
+  // Microsecond timestamps with fixed sub-microsecond precision keep the
+  // export deterministic and Chrome/Perfetto happy.
+  char ts[40];
+  std::snprintf(ts, sizeof ts, "%.3f", e.t * 1e6);
+  // kNoNode events (health samples, world-level bookkeeping) land on tid 0;
+  // real nodes on tid id+1 so the two never collide.
+  const unsigned long long tid = e.node == kNoNode ? 0ull : 1ull + e.node;
+
+  char line[512];
+  int n;
+  const auto append = [&](const char* fmt, auto... args) {
+    if (n < static_cast<int>(sizeof line)) {
+      n += std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n), fmt, args...);
+    }
+  };
+  if (e.type == TraceType::kHealthSample) {
+    // Counter track: one series per (detail, node).
+    n = std::snprintf(line, sizeof line,
+                      "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"id\":%llu,"
+                      "\"args\":{\"value\":%.9g}},",
+                      e.detail != nullptr ? e.detail : "health", ts, tid, e.value);
+    out_ << line << '\n';
+    return;
+  }
+  n = std::snprintf(line, sizeof line,
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,"
+                    "\"pid\":1,\"tid\":%llu,\"args\":{",
+                    info.name, cat, ts, tid);
+  bool first = true;
+  const auto arg = [&](const char* fmt, auto... args) {
+    if (!first) append(",");
+    first = false;
+    append(fmt, args...);
+  };
+  if (e.peer != kNoNode) arg("\"peer\":%u", e.peer);
+  if (e.uid != 0) arg("\"uid\":%llu", static_cast<unsigned long long>(e.uid));
+  if (e.size != 0) arg("\"size\":%u", e.size);
+  if (e.value != 0.0) arg("\"value\":%.9g", e.value);
+  if (e.span != 0) arg("\"span\":%llu", static_cast<unsigned long long>(e.span));
+  if (e.parent != 0) arg("\"parent\":%llu", static_cast<unsigned long long>(e.parent));
+  if (e.detail != nullptr) arg("\"detail\":\"%s\"", e.detail);
+  append("}},");
+  out_ << line << '\n';
+  // Lineage flow arrows: an event that owns a span starts (or continues) the
+  // flow with that id; an event with a parent binds the parent's flow onto
+  // itself. Matching ids draw the parent -> child arrows in the UI.
+  if (e.span != 0) {
+    n = std::snprintf(line, sizeof line,
+                      "{\"name\":\"span\",\"cat\":\"%s\",\"ph\":\"s\",\"ts\":%s,\"pid\":1,"
+                      "\"tid\":%llu,\"id\":%llu},",
+                      cat, ts, tid, static_cast<unsigned long long>(e.span));
+    out_ << line << '\n';
+  }
+  if (e.parent != 0) {
+    n = std::snprintf(line, sizeof line,
+                      "{\"name\":\"span\",\"cat\":\"%s\",\"ph\":\"f\",\"bp\":\"e\",\"ts\":%s,"
+                      "\"pid\":1,\"tid\":%llu,\"id\":%llu},",
+                      cat, ts, tid, static_cast<unsigned long long>(e.parent));
+    out_ << line << '\n';
+  }
 }
 
 std::uint32_t Tracer::parse_mask(const char* spec) {
@@ -144,22 +223,58 @@ std::uint32_t Tracer::parse_mask(const char* spec) {
 void Tracer::configure_from_env() {
   // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
   const std::uint32_t mask = parse_mask(std::getenv("ICC_TRACE"));
-  if (mask == 0) return;
-  mask_ |= mask;
-  // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
-  const char* path = std::getenv("ICC_TRACE_FILE");
-  if (path != nullptr && *path != '\0') {
-    std::ostream& out = shared_file_stream(path);
-    const std::string_view p{path};
-    if (p.size() >= 6 && p.substr(p.size() - 6) == ".jsonl") {
-      add_owned_sink(std::make_unique<JsonlTraceSink>(out));
+  if (mask != 0) {
+    mask_ |= mask;
+    // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
+    const char* path = std::getenv("ICC_TRACE_FILE");
+    if (path != nullptr && *path != '\0') {
+      std::ostream& out = shared_file_stream(path);
+      const std::string_view p{path};
+      if (p.size() >= 6 && p.substr(p.size() - 6) == ".jsonl") {
+        add_owned_sink(std::make_unique<JsonlTraceSink>(out));
+      } else {
+        add_owned_sink(std::make_unique<LineTraceSink>(out));
+      }
     } else {
-      add_owned_sink(std::make_unique<LineTraceSink>(out));
+      add_owned_sink(std::make_unique<LineTraceSink>(std::cerr));
     }
-  } else {
-    add_owned_sink(std::make_unique<LineTraceSink>(std::cerr));
+  }
+  // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
+  const char* perfetto = std::getenv("ICC_TRACE_PERFETTO");
+  if (perfetto != nullptr && *perfetto != '\0') {
+    // The export wants the whole picture: enable every category.
+    mask_ = (1u << static_cast<unsigned>(TraceCategory::kCount)) - 1u;
+    bool first_open = false;
+    std::ostream& out = shared_file_stream(perfetto, &first_open);
+    if (first_open) out << "[\n";  // closing ']' is optional in the format
+    add_owned_sink(std::make_unique<PerfettoTraceSink>(out));
+  }
+  // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
+  const char* flight = std::getenv("ICC_FLIGHT");
+  if (flight != nullptr && *flight != '\0' && std::strcmp(flight, "0") != 0) {
+    std::size_t capacity = kDefaultFlightRecords;
+    // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
+    if (const char* records = std::getenv("ICC_FLIGHT_RECORDS");
+        records != nullptr && *records != '\0') {
+      const unsigned long long parsed = std::strtoull(records, nullptr, 10);
+      if (parsed > 0) capacity = static_cast<std::size_t>(parsed);
+    }
+    // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
+    const char* dump = std::getenv("ICC_FLIGHT_DUMP");
+    enable_flight(capacity, dump != nullptr && *dump != '\0' ? dump : "icc_flight");
   }
 }
+
+Tracer::Tracer() = default;
+Tracer::~Tracer() = default;
+
+void Tracer::enable_flight(std::size_t capacity, std::string dump_base) {
+  if (flight_ != nullptr) return;  // one ring per world is enough
+  owned_flight_ = std::make_unique<FlightRecorder>(capacity, std::move(dump_base));
+  flight_ = owned_flight_.get();
+}
+
+void Tracer::flight_record(const TraceEvent& event) { flight_->record(event); }
 
 void Tracer::add_sink(TraceSink* sink) { sinks_.push_back(sink); }
 

@@ -12,20 +12,39 @@
 // optional `detail` that must point at a string literal, so constructing one
 // never allocates either.
 //
+// Lineage: every originated packet carries a span id (its uid) and a parent
+// span linking it to the event that caused it — the received RREQ a node
+// re-floods, the buffered data packet that triggered a discovery, the
+// watched transmission behind a watchdog accusation, the intercepted RREP
+// behind a voting round. Events carry (span, parent) so the full "life of a
+// packet / of a conviction" tree is reconstructable from a trace (tools/
+// tracq tree). Both fields render only when nonzero, keeping untraced
+// events byte-identical to the pre-lineage format.
+//
 // Environment knobs (read by World at construction):
 //   ICC_TRACE       comma-separated categories to enable:
-//                   packet,mac,route,voting,watchdog,fusion,energy,fault  or  all
+//                   packet,mac,route,voting,watchdog,fusion,energy,fault,
+//                   suspicion,health  or  all
 //   ICC_TRACE_FILE  write the trace there instead of stderr; a path ending
 //                   in .jsonl selects the JSONL sink, anything else the
 //                   ns-2-style line sink. Worlds created by the same process
 //                   append to one shared stream (truncated once at first
 //                   open), so multi-world drivers produce a single coherent,
-//                   reproducible trace.
+//                   reproducible trace. An unwritable path is a fatal
+//                   configuration error (the process exits) — silently
+//                   discarding a requested trace would waste the whole run.
+//   ICC_TRACE_PERFETTO  also export every category to a Chrome/Perfetto
+//                   trace-event JSON file at the given path (per-node
+//                   tracks, lineage flow arrows, health counter tracks).
+//   ICC_FLIGHT      enable the always-on in-memory flight recorder
+//                   (sim/flight.hpp); ICC_FLIGHT_RECORDS sizes the ring,
+//                   ICC_FLIGHT_DUMP sets the dump path prefix.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -41,6 +60,8 @@ enum class TraceCategory : std::uint8_t {
   kFusion,    ///< sensor-fusion / base-station decisions
   kEnergy,    ///< non-radio energy charges (crypto ops)
   kFault,     ///< fault injection and its detection/neutralization
+  kSuspicion, ///< suspicions-manager verdicts (temporary suspicion, conviction)
+  kHealth,    ///< periodic health samples (queue depth, air table, energy)
   kCount
 };
 
@@ -64,6 +85,9 @@ enum class TraceType : std::uint8_t {
   kFaultInjected,     ///< an injector fired (detail = fault class)
   kFaultDetected,     ///< a defense noticed a fault's effect
   kFaultNeutralized,  ///< a defense masked a fault's effect
+  kSuspect,           ///< a node was temporarily suspected (detail = reason)
+  kConvict,           ///< a node was permanently convicted (detail = reason)
+  kHealthSample,      ///< periodic sampler reading (detail = metric name)
   kCount
 };
 
@@ -81,6 +105,10 @@ struct TraceEvent {
   std::uint32_t size{0};       ///< payload bytes where meaningful
   double value{0.0};           ///< type-specific scalar (backoff s, level, J)
   const char* detail{nullptr}; ///< reason / verdict, static string only
+  // Lineage (appended so positional brace-inits of the older fields stay
+  // valid). Zero means "no lineage"; both render only when nonzero.
+  std::uint64_t span{0};       ///< causal id this event owns / is about
+  std::uint64_t parent{0};     ///< span of the event that caused this one
 };
 
 /// Subscriber interface. Sinks registered on a Tracer see every event that
@@ -113,6 +141,21 @@ class JsonlTraceSink final : public TraceSink {
   std::ostream& out_;
 };
 
+/// Chrome/Perfetto trace-event JSON ("JSON Array Format"): one instant event
+/// per trace event on a per-node track, flow arrows from lineage
+/// (span/parent), counter tracks from kHealthSample events. The stream must
+/// already contain the opening '[' (configure_from_env writes it on first
+/// open); the closing ']' is optional in the format, so multi-world appends
+/// stay loadable.
+class PerfettoTraceSink final : public TraceSink {
+ public:
+  explicit PerfettoTraceSink(std::ostream& out) : out_{out} {}
+  void on_event(const TraceEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
 /// Test helper: buffers events in memory.
 class CollectingTraceSink final : public TraceSink {
  public:
@@ -124,10 +167,18 @@ class CollectingTraceSink final : public TraceSink {
   std::vector<TraceEvent> events_;
 };
 
+class FlightRecorder;
+
 class Tracer {
  public:
-  /// Reads ICC_TRACE / ICC_TRACE_FILE and installs the default sink. Called
-  /// by the World constructor; harmless to call on an already-set-up tracer.
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Reads ICC_TRACE / ICC_TRACE_FILE / ICC_TRACE_PERFETTO / ICC_FLIGHT*
+  /// and installs the default sinks. Called by the World constructor;
+  /// harmless to call on an already-set-up tracer.
   void configure_from_env();
 
   /// `spec` is a comma-separated category list ("packet,voting") or "all";
@@ -141,9 +192,16 @@ class Tracer {
   void add_sink(TraceSink* sink);
   void add_owned_sink(std::unique_ptr<TraceSink> sink);
 
+  /// The flight recorder sees every category regardless of the mask, so its
+  /// ring is complete when a post-mortem needs it; it never leaks events
+  /// into the text sinks, which keep honoring mask_.
+  void enable_flight(std::size_t capacity, std::string dump_base);
+  [[nodiscard]] FlightRecorder* flight() const noexcept { return flight_; }
+
   /// Hot-path guard: one AND plus a compare when tracing is off.
   [[nodiscard]] bool enabled(TraceCategory cat) const noexcept {
-    return (mask_ & (1u << static_cast<unsigned>(cat))) != 0 && !sinks_.empty();
+    return ((mask_ & (1u << static_cast<unsigned>(cat))) != 0 && !sinks_.empty()) ||
+           flight_ != nullptr;
   }
   [[nodiscard]] bool enabled(TraceType type) const noexcept {
     return enabled(trace_category(type));
@@ -153,16 +211,22 @@ class Tracer {
   /// should still guard with enabled() when assembling the event costs
   /// anything beyond writing POD fields.
   void emit(const TraceEvent& event) {
-    if (!enabled(trace_category(event.type))) return;
-    dispatch(event);
+    if (flight_ != nullptr) flight_record(event);
+    if ((mask_ & (1u << static_cast<unsigned>(trace_category(event.type)))) != 0 &&
+        !sinks_.empty()) {
+      dispatch(event);
+    }
   }
 
  private:
   void dispatch(const TraceEvent& event);
+  void flight_record(const TraceEvent& event);  // out of line: needs flight.hpp
 
   std::uint32_t mask_{0};
+  FlightRecorder* flight_{nullptr};
   std::vector<TraceSink*> sinks_;
   std::vector<std::unique_ptr<TraceSink>> owned_;
+  std::unique_ptr<FlightRecorder> owned_flight_;
 };
 
 }  // namespace icc::sim

@@ -30,6 +30,43 @@ World::World(WorldConfig config)
   if (profile != nullptr && *profile != '\0' && std::strcmp(profile, "0") != 0) {
     sched_.enable_profiling(true);
   }
+  // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); health sampling knob
+  const char* health = std::getenv("ICC_TRACE_HEALTH");
+  if (health != nullptr && *health != '\0') {
+    health_interval_ = std::strtod(health, nullptr);
+    // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); health sampling knob
+    const char* per_node = std::getenv("ICC_TRACE_HEALTH_NODES");
+    health_per_node_ =
+        per_node != nullptr && *per_node != '\0' && std::strcmp(per_node, "0") != 0;
+    // Arm only when someone is listening: a self-rescheduling sampler would
+    // otherwise keep an idle scheduler alive forever.
+    if (health_interval_ > 0.0 && tracer_.enabled(TraceCategory::kHealth)) {
+      sched_.schedule_in(health_interval_, [this] { health_sample(); });
+    }
+  }
+}
+
+void World::health_sample() {
+  const Time t = now();
+  const std::uint64_t executed = sched_.executed();
+  // "Scheduler lag" deliberately means events-per-sample plus queue depth,
+  // not wall-clock: traces must stay a pure function of the seed.
+  tracer_.emit({t, TraceType::kHealthSample, kNoNode, kNoNode, 0, 0,
+                static_cast<double>(sched_.pending_count()), "sched.pending"});
+  tracer_.emit({t, TraceType::kHealthSample, kNoNode, kNoNode, 0, 0,
+                static_cast<double>(executed - health_last_executed_), "sched.events"});
+  tracer_.emit({t, TraceType::kHealthSample, kNoNode, kNoNode, 0, 0,
+                static_cast<double>(medium_.on_air_count(t)), "air.on_air"});
+  tracer_.emit({t, TraceType::kHealthSample, kNoNode, kNoNode, 0, 0, mean_energy_joules(),
+                "energy.mean_j"});
+  if (health_per_node_) {
+    for (NodeId i = 0; i < num_nodes(); ++i) {
+      tracer_.emit({t, TraceType::kHealthSample, i, kNoNode, 0, 0,
+                    node(i).energy().total_joules(config_.energy, t), "energy_j"});
+    }
+  }
+  health_last_executed_ = executed;
+  sched_.schedule_in(health_interval_, [this] { health_sample(); });
 }
 
 Node& World::add_node(std::unique_ptr<Mobility> mobility) {

@@ -73,6 +73,21 @@ class World {
 
   std::uint64_t next_packet_uid() noexcept { return next_uid_++; }
 
+  /// Lineage span ids share the packet-uid namespace (a packet's span IS its
+  /// uid), so non-packet causes — watchdog accusations, voting rounds, fault
+  /// injections — get ids that never collide with packet uids. Spans are
+  /// burned unconditionally (never gated on tracing being enabled) so the id
+  /// stream is identical whether or not anyone is watching.
+  std::uint64_t next_span() noexcept { return next_uid_++; }
+
+  /// The span of the event being causally processed right now — the uid of
+  /// the packet whose reception is being handled (set by Node::
+  /// frame_received), or a cause explicitly scoped by protocol code
+  /// (LineageScope). Packets originated inside the scope inherit it as
+  /// their parent automatically. 0 = no known cause (timer-driven work).
+  [[nodiscard]] std::uint64_t lineage_parent() const noexcept { return lineage_parent_; }
+  void set_lineage_parent(std::uint64_t span) noexcept { lineage_parent_ = span; }
+
   /// Ground-truth one-hop neighbors (within tx_range) of `id` right now, in
   /// ascending NodeId order. Used by tests and by the dealer for oracle
   /// checks — never by protocol code, which must rely on the Secure
@@ -102,6 +117,10 @@ class World {
   [[nodiscard]] double mean_energy_joules() const;
 
  private:
+  /// Periodic health sampler (ICC_TRACE_HEALTH): emits queue depth, executed
+  /// events, air-table occupancy and energy as health-category trace events.
+  /// Self-rescheduling, so it is armed only when the env knob asks for it.
+  void health_sample();
   WorldConfig config_;
   Scheduler sched_;
   Medium medium_;
@@ -110,10 +129,33 @@ class World {
   Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint64_t next_uid_{1};
+  std::uint64_t lineage_parent_{0};
   std::uint64_t position_epoch_{1};
+  Time health_interval_{0.0};
+  bool health_per_node_{false};
+  std::uint64_t health_last_executed_{0};
   /// Lazily maintained cache over node positions; mutable because refreshing
   /// it is logically const (queries through it are pure reads of the world).
   mutable SpatialGrid grid_;
+};
+
+/// RAII lineage context: packets originated while the scope is alive inherit
+/// `span` as their parent (unless protocol code already set one). Used where
+/// causality crosses a scheduling boundary — a buffered data packet
+/// triggering a discovery, a jittered RREQ re-flood, a delayed vote reply.
+class LineageScope {
+ public:
+  LineageScope(World& world, std::uint64_t span) noexcept
+      : world_{world}, prev_{world.lineage_parent()} {
+    world.set_lineage_parent(span);
+  }
+  ~LineageScope() { world_.set_lineage_parent(prev_); }
+  LineageScope(const LineageScope&) = delete;
+  LineageScope& operator=(const LineageScope&) = delete;
+
+ private:
+  World& world_;
+  std::uint64_t prev_;
 };
 
 }  // namespace icc::sim

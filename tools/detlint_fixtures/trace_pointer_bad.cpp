@@ -1,0 +1,16 @@
+// Fixture: pointer values laundered into integers and format strings.
+// Every line below must trip the trace-pointer rule; nothing else.
+#include <cstdint>
+#include <cstdio>
+
+struct Event {
+  std::uint64_t id;
+};
+
+std::uint64_t bad_reinterpret(const Event* e) {
+  return reinterpret_cast<std::uintptr_t>(e);  // address as trace id
+}
+
+std::uint64_t bad_c_cast(const Event* e) { return (uintptr_t)e; }
+
+void bad_format(const Event* e) { std::printf("event at %p\n", (const void*)e); }
