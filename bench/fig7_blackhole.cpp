@@ -15,6 +15,7 @@
 #include "exp/env.hpp"
 #include "exp/runner.hpp"
 #include "fault/ledger.hpp"
+#include "net/codec.hpp"
 #include "sim/report.hpp"
 
 int main() {
@@ -75,6 +76,7 @@ int main() {
     config.level = s.level;
     config.sim_time = sim_time;
     config.seed = ctx.seed;
+    config.world_hook = icc::net::codec_hook_from_env();
     const BlackholeExperimentResult r = icc::aodv::run_blackhole_experiment(config);
     icc::exp::JobOutputs out;
     out["throughput"] = {r.throughput};

@@ -10,6 +10,7 @@
 
 #include "aodv/blackhole_experiment.hpp"
 #include "exp/env.hpp"
+#include "net/codec.hpp"
 
 int main(int argc, char** argv) {
   using icc::aodv::BlackholeExperimentConfig;
@@ -22,6 +23,9 @@ int main(int argc, char** argv) {
   BlackholeExperimentConfig base;
   base.sim_time = sim_time;
   base.seed = 42;
+  // ICC_NET_CODEC=1 routes every delivered frame through the wire codec
+  // round trip; outputs must stay byte-identical to the direct path.
+  base.world_hook = icc::net::codec_hook_from_env();
 
   std::printf("AODV black hole attack demo (%d nodes, %.0f s, %d attacker(s))\n",
               base.num_nodes, base.sim_time, malicious);

@@ -4,7 +4,7 @@
 
 #include "fault/ledger.hpp"
 #include "sim/check.hpp"
-#include "sim/world.hpp"
+#include "sim/trace.hpp"
 
 namespace icc::aodv {
 
@@ -13,23 +13,23 @@ constexpr std::uint64_t kAodvRngSalt = 0x414F4456ull;  // "AODV"
 constexpr std::uint32_t kDataHeaderBytes = 20;
 }
 
-Aodv::Aodv(sim::Node& node, Params params)
+Aodv::Aodv(net::Host& node, Params params)
     : node_{node},
       params_{params},
-      rng_{node.world().fork_rng(kAodvRngSalt + node.id())},
-      m_data_originated_{node.world().metrics().counter_id("aodv.data_originated")},
-      m_data_forwarded_{node.world().metrics().counter_id("aodv.data_forwarded")},
-      m_data_delivered_{node.world().metrics().counter_id("aodv.data_delivered")},
-      m_data_dropped_no_route_{node.world().metrics().counter_id("aodv.data_dropped_no_route")},
-      m_rreq_sent_{node.world().metrics().counter_id("aodv.rreq_sent")},
-      m_rrep_sent_{node.world().metrics().counter_id("aodv.rrep_sent")} {
-  node_.register_handler(sim::Port::kAodv, [this](const sim::Packet& p, sim::NodeId from) {
+      rng_{node.fork_rng(kAodvRngSalt + node.id())},
+      m_data_originated_{node.metrics().counter_id("aodv.data_originated")},
+      m_data_forwarded_{node.metrics().counter_id("aodv.data_forwarded")},
+      m_data_delivered_{node.metrics().counter_id("aodv.data_delivered")},
+      m_data_dropped_no_route_{node.metrics().counter_id("aodv.data_dropped_no_route")},
+      m_rreq_sent_{node.metrics().counter_id("aodv.rreq_sent")},
+      m_rrep_sent_{node.metrics().counter_id("aodv.rrep_sent")} {
+  node_.transport().register_handler(sim::Port::kAodv, [this](const sim::Packet& p, sim::NodeId from) {
     handle_packet(p, from);
   });
-  node_.register_handler(sim::Port::kCbr, [this](const sim::Packet& p, sim::NodeId from) {
+  node_.transport().register_handler(sim::Port::kCbr, [this](const sim::Packet& p, sim::NodeId from) {
     handle_packet(p, from);
   });
-  node_.set_send_failed_handler([this](const sim::Packet& p, sim::NodeId next_hop) {
+  node_.transport().set_send_failed_handler([this](const sim::Packet& p, sim::NodeId next_hop) {
     on_link_failure(p, next_hop);
   });
   schedule_seen_cache_cleanup();
@@ -39,13 +39,13 @@ void Aodv::schedule_seen_cache_cleanup() {
   // Periodically forget seen RREQ ids so the cache stays bounded. rreq_ids
   // are monotone per origin, so forgetting old entries cannot re-admit a
   // duplicate that is still in flight within the timeout.
-  node_.world().sched().schedule_in(params_.seen_cache_timeout, [this] {
+  node_.clock().schedule_in(params_.seen_cache_timeout, [this] {
     seen_rreqs_.clear();
     schedule_seen_cache_cleanup();
-  }, sim::EventTag::kRouting);
+  }, net::EventTag::kRouting);
 }
 
-sim::Time Aodv::now() const { return node_.world().now(); }
+sim::Time Aodv::now() const { return node_.now(); }
 
 bool Aodv::has_route(sim::NodeId dest) const {
   const auto it = routes_.find(dest);
@@ -94,7 +94,7 @@ void Aodv::update_route(sim::NodeId dest, sim::NodeId next_hop, std::uint32_t ho
 void Aodv::send_data(sim::NodeId dest, DataMsg data) {
   // Ensure end-to-end identity: the uid survives hop-by-hop forwarding so
   // promiscuous observers (watchdog) can match retransmissions.
-  if (data.app_uid == 0) data.app_uid = node_.world().next_packet_uid();
+  if (data.app_uid == 0) data.app_uid = node_.next_packet_uid();
   sim::Packet packet;
   packet.src = node_.id();
   packet.dst = dest;
@@ -108,11 +108,11 @@ void Aodv::send_data(sim::NodeId dest, DataMsg data) {
   // the RREP's reception scope must not be re-parented onto the route reply
   // it waited for — that would close a lineage cycle data -> rreq -> rrep
   // -> data and leave the tree without a root.
-  if (node_.world().lineage_parent() != packet.uid) {
-    packet.parent = node_.world().lineage_parent();
+  if (node_.lineage_parent() != packet.uid) {
+    packet.parent = node_.lineage_parent();
   }
   packet.body = std::make_shared<DataMsg>(data);
-  node_.world().metrics().add(m_data_originated_);
+  node_.metrics().add(m_data_originated_);
   forward_data(packet, data);
 }
 
@@ -129,19 +129,19 @@ void Aodv::forward_data(const sim::Packet& packet, const DataMsg&) {
     PendingDiscovery& pending = pending_[dest];
     if (pending.buffered.size() >= params_.buffer_capacity) {
       pending.buffered.pop_front();
-      node_.world().stats().add("aodv.buffer_overflow");
+      node_.stats().add("aodv.buffer_overflow");
     }
     pending.buffered.push_back(packet);
     if (pending.attempts == 0) {
       // The discovery's RREQ descends from the data packet that needs it.
-      sim::LineageScope lineage{node_.world(), packet.uid};
+      net::LineageScope lineage{node_, packet.uid};
       start_discovery(dest);
     }
     return;
   }
   // Intermediate node lost the route: drop and report.
-  node_.world().metrics().add(m_data_dropped_no_route_);
-  node_.world().tracer().emit({now(), sim::TraceType::kPacketDrop, node_.id(), packet.src,
+  node_.metrics().add(m_data_dropped_no_route_);
+  node_.tracer().emit({now(), sim::TraceType::kPacketDrop, node_.id(), packet.src,
                                packet.uid, packet.size_bytes, 0.0, "no_route", packet.uid,
                                packet.parent});
   if (params_.send_rerr) {
@@ -154,13 +154,13 @@ void Aodv::forward_data(const sim::Packet& packet, const DataMsg&) {
     p.port = sim::Port::kAodv;
     p.size_bytes = rerr->wire_size();
     p.body = std::move(rerr);
-    node_.link_send(std::move(p), sim::kBroadcast);
+    node_.transport().send(std::move(p), sim::kBroadcast);
   }
 }
 
 void Aodv::send_data_packet(sim::Packet packet, sim::NodeId next_hop) {
-  node_.world().metrics().add(m_data_forwarded_);
-  node_.link_send(std::move(packet), next_hop);
+  node_.metrics().add(m_data_forwarded_);
+  node_.transport().send(std::move(packet), next_hop);
 }
 
 // ------------------------------------------------------- route discovery
@@ -182,9 +182,9 @@ void Aodv::start_discovery(sim::NodeId dest) {
   seen_rreqs_.emplace(rreq.orig, rreq.rreq_id);
   broadcast_rreq(rreq);
 
-  pending.retry_event = node_.world().sched().schedule_in(
+  pending.retry_event = node_.clock().schedule_in(
       params_.rreq_retry_interval, [this, dest] { retry_discovery(dest); },
-      sim::EventTag::kRouting);
+      net::EventTag::kRouting);
 }
 
 void Aodv::retry_discovery(sim::NodeId dest) {
@@ -193,8 +193,8 @@ void Aodv::retry_discovery(sim::NodeId dest) {
   PendingDiscovery& pending = it->second;
   // The timer lost the lineage context; a retry RREQ still descends from the
   // oldest packet waiting on the route.
-  sim::LineageScope lineage{
-      node_.world(), pending.buffered.empty() ? 0 : pending.buffered.front().uid};
+  net::LineageScope lineage{
+      node_, pending.buffered.empty() ? 0 : pending.buffered.front().uid};
   if (pending.attempts > params_.rreq_retries) {
     drop_buffered(dest);
     return;
@@ -212,10 +212,10 @@ void Aodv::retry_discovery(sim::NodeId dest) {
   rreq.hop_count = 0;
   seen_rreqs_.emplace(rreq.orig, rreq.rreq_id);
   broadcast_rreq(rreq);
-  pending.retry_event = node_.world().sched().schedule_in(
+  pending.retry_event = node_.clock().schedule_in(
       params_.rreq_retry_interval * (1 << pending.attempts), [this, dest] {
         retry_discovery(dest);
-      }, sim::EventTag::kRouting);
+      }, net::EventTag::kRouting);
 }
 
 void Aodv::broadcast_rreq(const RreqMsg& rreq) {
@@ -227,26 +227,26 @@ void Aodv::broadcast_rreq(const RreqMsg& rreq) {
   packet.body = std::make_shared<RreqMsg>(rreq);
   // Pre-stamp so the rreq_sent event carries the same span the packet will
   // have on the air (link_send would only stamp it after this emit).
-  packet.uid = node_.world().next_packet_uid();
-  packet.parent = node_.world().lineage_parent();
-  node_.world().metrics().add(m_rreq_sent_);
-  node_.world().tracer().emit({now(), sim::TraceType::kRouteRreqSent, node_.id(), rreq.dest,
+  packet.uid = node_.next_packet_uid();
+  packet.parent = node_.lineage_parent();
+  node_.metrics().add(m_rreq_sent_);
+  node_.tracer().emit({now(), sim::TraceType::kRouteRreqSent, node_.id(), rreq.dest,
                                rreq.rreq_id, RreqMsg::kWireSize,
                                static_cast<double>(rreq.hop_count), nullptr, packet.uid,
                                packet.parent});
-  node_.link_send(std::move(packet), sim::kBroadcast);
+  node_.transport().send(std::move(packet), sim::kBroadcast);
 }
 
 void Aodv::flush_buffer(sim::NodeId dest) {
   const auto it = pending_.find(dest);
   if (it == pending_.end()) return;
-  node_.world().sched().cancel(it->second.retry_event);
+  node_.clock().cancel(it->second.retry_event);
   std::deque<sim::Packet> buffered = std::move(it->second.buffered);
   pending_.erase(it);
   // Buffered packets carry their origination-time lineage; clear the ambient
   // context (usually the RREP that resolved the discovery) so a root packet
   // with parent 0 is not adopted by the reply it triggered.
-  sim::LineageScope lineage{node_.world(), 0};
+  net::LineageScope lineage{node_, 0};
   for (sim::Packet& packet : buffered) {
     const auto* data = packet.body_as<DataMsg>();
     if (data != nullptr) forward_data(packet, *data);
@@ -256,13 +256,13 @@ void Aodv::flush_buffer(sim::NodeId dest) {
 void Aodv::drop_buffered(sim::NodeId dest) {
   const auto it = pending_.find(dest);
   if (it == pending_.end()) return;
-  node_.world().sched().cancel(it->second.retry_event);
-  node_.world().stats().add("aodv.discovery_failed");
-  node_.world().metrics().add(m_data_dropped_no_route_,
+  node_.clock().cancel(it->second.retry_event);
+  node_.stats().add("aodv.discovery_failed");
+  node_.metrics().add(m_data_dropped_no_route_,
                               static_cast<double>(it->second.buffered.size()));
-  node_.world().tracer().emit({now(), sim::TraceType::kRouteDiscoveryFailed, node_.id(), dest,
+  node_.tracer().emit({now(), sim::TraceType::kRouteDiscoveryFailed, node_.id(), dest,
                                0, 0, static_cast<double>(it->second.buffered.size()),
-                               "retries_exhausted", 0, node_.world().lineage_parent()});
+                               "retries_exhausted", 0, node_.lineage_parent()});
   pending_.erase(it);
 }
 
@@ -272,7 +272,7 @@ void Aodv::handle_packet(const sim::Packet& packet, sim::NodeId from) {
   if (const auto* data = packet.body_as<DataMsg>()) {
     update_route(from, from, 1, 0, false);  // the sender is a live neighbor
     if (packet.dst == node_.id()) {
-      node_.world().metrics().add(m_data_delivered_);
+      node_.metrics().add(m_data_delivered_);
       if (deliver_) deliver_(*data, packet.src);
     } else {
       forward_data(packet, *data);
@@ -322,7 +322,7 @@ void Aodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
       rrep.dest_seq = it->second.dest_seq;
       rrep.orig = rreq.orig;
       rrep.hop_count = it->second.hop_count;
-      node_.world().stats().add("aodv.intermediate_rrep");
+      node_.stats().add("aodv.intermediate_rrep");
       send_rrep_towards(rrep);
       return;
     }
@@ -333,20 +333,20 @@ void Aodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
   // RREQ packet we are re-flooding) and re-establish it.
   RreqMsg fwd = rreq;
   fwd.hop_count += 1;
-  node_.world().sched().schedule_in(
+  node_.clock().schedule_in(
       rng_.uniform(0.0, 0.01),
-      [this, fwd, cause = node_.world().lineage_parent()] {
-        sim::LineageScope lineage{node_.world(), cause};
+      [this, fwd, cause = node_.lineage_parent()] {
+        net::LineageScope lineage{node_, cause};
         broadcast_rreq(fwd);
       },
-      sim::EventTag::kRouting);
+      net::EventTag::kRouting);
 }
 
 void Aodv::send_rrep_towards(const RrepMsg& rrep) {
   // Unicast along the reverse route to the requester.
   const auto it = routes_.find(rrep.orig);
   if (it == routes_.end() || !it->second.valid) {
-    node_.world().stats().add("aodv.rrep_no_reverse_route");
+    node_.stats().add("aodv.rrep_no_reverse_route");
     return;
   }
   sim::Packet packet;
@@ -355,14 +355,14 @@ void Aodv::send_rrep_towards(const RrepMsg& rrep) {
   packet.port = sim::Port::kAodv;
   packet.size_bytes = RrepMsg::kWireSize;
   packet.body = std::make_shared<RrepMsg>(rrep);
-  packet.uid = node_.world().next_packet_uid();
-  packet.parent = node_.world().lineage_parent();
-  node_.world().metrics().add(m_rrep_sent_);
-  node_.world().tracer().emit({now(), sim::TraceType::kRouteRrepSent, node_.id(),
+  packet.uid = node_.next_packet_uid();
+  packet.parent = node_.lineage_parent();
+  node_.metrics().add(m_rrep_sent_);
+  node_.tracer().emit({now(), sim::TraceType::kRouteRrepSent, node_.id(),
                                it->second.next_hop, packet.uid, RrepMsg::kWireSize,
                                static_cast<double>(rrep.hop_count), nullptr, packet.uid,
                                packet.parent});
-  node_.link_send(std::move(packet), it->second.next_hop);
+  node_.transport().send(std::move(packet), it->second.next_hop);
 }
 
 void Aodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
@@ -370,9 +370,9 @@ void Aodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
   update_route(rrep.dest, from, rrep.hop_count + 1, rrep.dest_seq, true);
 
   if (rrep.orig == node_.id()) {
-    node_.world().tracer().emit({now(), sim::TraceType::kRouteDiscovered, node_.id(), rrep.dest,
+    node_.tracer().emit({now(), sim::TraceType::kRouteDiscovered, node_.id(), rrep.dest,
                                  0, 0, static_cast<double>(rrep.hop_count + 1), nullptr, 0,
-                                 node_.world().lineage_parent()});
+                                 node_.lineage_parent()});
     flush_buffer(rrep.dest);
     return;
   }
@@ -398,7 +398,7 @@ void Aodv::handle_rerr(const RerrMsg& rerr, sim::NodeId from) {
     packet.port = sim::Port::kAodv;
     packet.size_bytes = propagated.wire_size();
     packet.body = std::make_shared<RerrMsg>(propagated);
-    node_.link_send(std::move(packet), sim::kBroadcast);
+    node_.transport().send(std::move(packet), sim::kBroadcast);
   }
 }
 
@@ -406,14 +406,14 @@ void Aodv::on_link_failure(const sim::Packet& packet, sim::NodeId next_hop) {
   // Only react to data-plane failures; control messages have their own
   // retry/timeout logic.
   if (packet.body_as<DataMsg>() == nullptr) return;
-  node_.world().stats().add("aodv.link_failures");
+  node_.stats().add("aodv.link_failures");
   // MAC retry exhaustion arrives via timer, outside any reception scope: the
   // RERR flood and salvage rediscovery below descend from the failed packet.
-  sim::LineageScope lineage{node_.world(), packet.uid};
+  net::LineageScope lineage{node_, packet.uid};
   // The exhausted MAC retry is how a crashed/out-of-range next hop shows up
   // to routing — report it as a detected node fault (innocent mobility also
   // trips this; the ledger's capped rows absorb the over-reporting).
-  fault::report_detected(node_.world(), fault::FaultClass::kNode, next_hop, 0, packet.uid);
+  fault::report_detected(node_, fault::FaultClass::kNode, next_hop, 0, packet.uid);
 
   RerrMsg rerr;
   for (auto& [dest, entry] : routes_) {
@@ -430,7 +430,7 @@ void Aodv::on_link_failure(const sim::Packet& packet, sim::NodeId next_hop) {
     p.port = sim::Port::kAodv;
     p.size_bytes = rerr.wire_size();
     p.body = std::make_shared<RerrMsg>(rerr);
-    node_.link_send(std::move(p), sim::kBroadcast);
+    node_.transport().send(std::move(p), sim::kBroadcast);
   }
   // Salvage: if we are the source of the failed packet, try to rediscover.
   if (packet.src == node_.id()) {

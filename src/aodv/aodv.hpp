@@ -18,8 +18,8 @@
 #include <set>
 
 #include "aodv/messages.hpp"
+#include "net/host.hpp"
 #include "sim/metrics.hpp"
-#include "sim/node.hpp"
 #include "sim/rng.hpp"
 
 namespace icc::aodv {
@@ -44,7 +44,7 @@ class Aodv {
   /// Handler invoked when a data packet addressed to this node arrives.
   using DeliverHandler = std::function<void(const DataMsg& data, sim::NodeId src)>;
 
-  Aodv(sim::Node& node, Params params);
+  Aodv(net::Host& node, Params params);
   virtual ~Aodv() = default;
 
   /// Application entry point: route `data` to `dest`, discovering a route
@@ -57,7 +57,7 @@ class Aodv {
   /// guard to hand over the RREP carried inside a verified agreed message.
   void inject_rrep(const RrepMsg& rrep, sim::NodeId from) { handle_rrep(rrep, from); }
 
-  [[nodiscard]] sim::Node& node() noexcept { return node_; }
+  [[nodiscard]] net::Host& node() noexcept { return node_; }
   [[nodiscard]] std::uint32_t own_seq() const noexcept { return own_seq_; }
 
   /// Whether a valid route to `dest` currently exists (tests).
@@ -99,7 +99,7 @@ class Aodv {
   void schedule_seen_cache_cleanup();
   [[nodiscard]] sim::Time now() const;
 
-  sim::Node& node_;
+  net::Host& node_;
   Params params_;
   sim::Rng rng_;
   DeliverHandler deliver_;
@@ -123,7 +123,7 @@ class Aodv {
 
   struct PendingDiscovery {
     int attempts{0};
-    sim::Scheduler::EventId retry_event{sim::Scheduler::kNoEvent};
+    net::TimerId retry_event{net::kNoTimer};
     std::deque<sim::Packet> buffered;
   };
   // Keyed access only today, but kept ordered alongside routes_ so a future

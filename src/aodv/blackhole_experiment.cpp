@@ -25,6 +25,7 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   world_config.seed = config.seed;
   world_config.spatial_grid = config.spatial_grid;
   sim::World world{world_config};
+  if (config.world_hook) config.world_hook(world);
 
   sim::Rng layout_rng = world.fork_rng(0xB1ACull);
 

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,10 @@
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/types.hpp"
+
+namespace icc::sim {
+class World;
+}  // namespace icc::sim
 
 namespace icc::aodv {
 
@@ -60,6 +65,13 @@ struct BlackholeExperimentConfig {
   /// Results are byte-identical either way; bench/scale_sweep turns it off
   /// to measure the brute-force baseline.
   bool spatial_grid{true};
+
+  /// Invoked on the freshly constructed (still empty) World. Deployment
+  /// parity hook: entry points install net::attach_sim_codec here when
+  /// ICC_NET_CODEC is set, forcing every delivered frame through the wire
+  /// codec round trip. (A hook rather than a direct call because icc_aodv
+  /// sits below icc_net in the link order.)
+  std::function<void(sim::World&)> world_hook;
 };
 
 struct BlackholeExperimentResult {

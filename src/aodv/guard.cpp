@@ -1,7 +1,6 @@
 #include "aodv/guard.hpp"
 
 #include "fault/ledger.hpp"
-#include "sim/world.hpp"
 
 namespace icc::aodv {
 
@@ -35,7 +34,7 @@ void AodvGuard::prune(sim::Time now) const {
 
 bool AodvGuard::is_valid_forwarder(sim::NodeId who, sim::NodeId dest,
                                    std::uint32_t dest_seq) const {
-  prune(aodv_.node().world().now());
+  prune(aodv_.node().now());
   const auto it = fw_.find({dest, dest_seq});
   return it != fw_.end() && it->second.forwarders.count(who) != 0;
 }
@@ -52,9 +51,9 @@ bool AodvGuard::check(sim::NodeId center, const core::Value& value) {
   // lineage parent is whatever packet carried the claim (the propose being
   // checked, via the reception scope).
   if (!ok) {
-    sim::World& world = aodv_.node().world();
-    fault::report_detected(world, fault::FaultClass::kProtocol, center, 0,
-                           world.lineage_parent());
+    net::Host& host = aodv_.node();
+    fault::report_detected(host, fault::FaultClass::kProtocol, center, 0,
+                           host.lineage_parent());
   }
   return ok;
 }
@@ -67,7 +66,7 @@ void AodvGuard::on_agreed(const core::AgreedMsg& msg, bool is_center) {
   FwEntry& entry = fw_[{rrep.dest, rrep.dest_seq}];
   entry.forwarders.insert(msg.source);
   entry.forwarders.insert(next_hop);
-  entry.updated = aodv_.node().world().now();
+  entry.updated = aodv_.node().now();
 
   // The designated next hop hands the validated RREP to its local AODV
   // service, which continues the hop-by-hop reply towards the requester.

@@ -1,7 +1,6 @@
 #include "aodv/misbehavior.hpp"
 
 #include "fault/ledger.hpp"
-#include "sim/world.hpp"
 
 namespace icc::aodv {
 
@@ -9,31 +8,31 @@ namespace {
 constexpr std::uint64_t kAttackRngSalt = 0x42484F4Cull;  // "BHOL"
 }
 
-MisbehaviorAodv::MisbehaviorAodv(sim::Node& node, Params params, fault::ProtocolFault spec)
+MisbehaviorAodv::MisbehaviorAodv(net::Host& node, Params params, fault::ProtocolFault spec)
     : Aodv{node, params},
       spec_{spec},
-      attack_rng_{node.world().fork_rng(kAttackRngSalt + node.id())},
+      attack_rng_{node.fork_rng(kAttackRngSalt + node.id())},
       // The legacy metric names stay: fig7 tables, the demo, and the
       // coverage ledger all read one interned counter now.
-      m_rrep_forged_{node.world().metrics().counter_id("blackhole.rrep_sent")},
-      m_data_dropped_{node.world().metrics().counter_id("blackhole.data_dropped")},
+      m_rrep_forged_{node.metrics().counter_id("blackhole.rrep_sent")},
+      m_data_dropped_{node.metrics().counter_id("blackhole.data_dropped")},
       m_data_dropped_node_{
-          node.world().metrics().node_counter_id("blackhole.data_dropped", node.id())} {
+          node.metrics().node_counter_id("blackhole.data_dropped", node.id())} {
   // Periodic misbehaviors schedule their ticks up front — and only when the
   // spec asks for them, so a pure black/gray hole adds zero events and zero
   // RNG draws relative to the old dedicated attacker class.
   if (spec_.replay_interval_s > 0.0) {
-    node_.world().sched().schedule_in(spec_.replay_interval_s, [this] { replay_tick(); },
-                                      sim::EventTag::kRouting);
+    node_.clock().schedule_in(spec_.replay_interval_s, [this] { replay_tick(); },
+                              net::EventTag::kRouting);
   }
   if (spec_.flood_interval_s > 0.0) {
-    node_.world().sched().schedule_in(spec_.flood_interval_s, [this] { flood_tick(); },
-                                      sim::EventTag::kRouting);
+    node_.clock().schedule_in(spec_.flood_interval_s, [this] { flood_tick(); },
+                              net::EventTag::kRouting);
   }
 }
 
 std::uint64_t MisbehaviorAodv::packets_dropped() const {
-  return static_cast<std::uint64_t>(node_.world().metrics().counter(m_data_dropped_node_));
+  return static_cast<std::uint64_t>(node_.metrics().counter(m_data_dropped_node_));
 }
 
 bool MisbehaviorAodv::active() const { return spec_.when.active_at(now()); }
@@ -66,9 +65,9 @@ void MisbehaviorAodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
   packet.port = sim::Port::kAodv;
   packet.size_bytes = RrepMsg::kWireSize;
   packet.body = std::make_shared<RrepMsg>(rrep);
-  node_.world().metrics().add(m_rrep_forged_);
-  fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
-  node_.link_send_unfiltered(std::move(packet), from);
+  node_.metrics().add(m_rrep_forged_);
+  fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
+  node_.transport().send_unfiltered(std::move(packet), from);
 
   if (spec_.forward_rreq) {
     RreqMsg fwd = rreq;
@@ -86,17 +85,17 @@ void MisbehaviorAodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
 void MisbehaviorAodv::forward_data(const sim::Packet& packet, const DataMsg& data) {
   if (packet.src != node_.id() && active()) {
     if (spec_.drop_prob > 0.0 && attack_rng_.chance(spec_.drop_prob)) {
-      node_.world().metrics().add(m_data_dropped_);
-      node_.world().metrics().add(m_data_dropped_node_);
-      fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+      node_.metrics().add(m_data_dropped_);
+      node_.metrics().add(m_data_dropped_node_);
+      fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
       return;
     }
     if (spec_.delay_s > 0.0) {
-      node_.world().stats().add("misbehavior.data_delayed");
-      fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
-      node_.world().sched().schedule_in(
+      node_.stats().add("misbehavior.data_delayed");
+      fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
+      node_.clock().schedule_in(
           spec_.delay_s, [this, packet, data] { Aodv::forward_data(packet, data); },
-          sim::EventTag::kRouting);
+          net::EventTag::kRouting);
       return;
     }
   }
@@ -112,14 +111,14 @@ void MisbehaviorAodv::replay_tick() {
     packet.port = sim::Port::kAodv;
     packet.size_bytes = RrepMsg::kWireSize;
     packet.body = std::make_shared<RrepMsg>(rrep);
-    node_.world().stats().add("misbehavior.rrep_replayed");
-    fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+    node_.stats().add("misbehavior.rrep_replayed");
+    fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
     // Replays go raw like every malicious RREP: a guarded receiver's
     // suppression of the stale copy is the neutralization we measure.
-    node_.link_send_unfiltered(std::move(packet), from);
+    node_.transport().send_unfiltered(std::move(packet), from);
   }
-  node_.world().sched().schedule_in(spec_.replay_interval_s, [this] { replay_tick(); },
-                                    sim::EventTag::kRouting);
+  node_.clock().schedule_in(spec_.replay_interval_s, [this] { replay_tick(); },
+                            net::EventTag::kRouting);
 }
 
 void MisbehaviorAodv::flood_tick() {
@@ -131,14 +130,14 @@ void MisbehaviorAodv::flood_tick() {
     rreq.rreq_id = next_rreq_id_++;
     rreq.orig_seq = own_seq_;
     rreq.dest = static_cast<sim::NodeId>(attack_rng_.uniform_int(
-        0, static_cast<std::uint32_t>(node_.world().num_nodes() - 1)));
+        0, static_cast<std::uint32_t>(node_.num_nodes() - 1)));
     rreq.hop_count = 0;
-    node_.world().stats().add("misbehavior.rreq_flooded");
-    fault::report_injected(node_.world(), fault::FaultClass::kProtocol, node_.id());
+    node_.stats().add("misbehavior.rreq_flooded");
+    fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
     broadcast_rreq(rreq);
   }
-  node_.world().sched().schedule_in(spec_.flood_interval_s, [this] { flood_tick(); },
-                                    sim::EventTag::kRouting);
+  node_.clock().schedule_in(spec_.flood_interval_s, [this] { flood_tick(); },
+                            net::EventTag::kRouting);
 }
 
 }  // namespace icc::aodv

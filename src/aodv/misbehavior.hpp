@@ -18,7 +18,7 @@ namespace icc::aodv {
 
 class MisbehaviorAodv final : public Aodv {
  public:
-  MisbehaviorAodv(sim::Node& node, Params params, fault::ProtocolFault spec);
+  MisbehaviorAodv(net::Host& node, Params params, fault::ProtocolFault spec);
 
   [[nodiscard]] const fault::ProtocolFault& spec() const noexcept { return spec_; }
   /// Data packets this attacker dropped (from the interned per-node

@@ -1,11 +1,11 @@
 #include "core/framework.hpp"
 
 #include "fault/ledger.hpp"
-#include "sim/world.hpp"
+#include "sim/trace.hpp"
 
 namespace icc::core {
 
-InnerCircleNode::InnerCircleNode(sim::Node& node, InnerCircleConfig config,
+InnerCircleNode::InnerCircleNode(net::Host& node, InnerCircleConfig config,
                                  crypto::ThresholdScheme& scheme, crypto::Pki& pki,
                                  const crypto::AsymmetricCipher& cipher)
     : node_{node},
@@ -20,16 +20,16 @@ InnerCircleNode::InnerCircleNode(sim::Node& node, InnerCircleConfig config,
            suspicions_,   scheme,            scheme.issue_signer(node.id()),
            pki,           pki.issue_signer(node.id()),
            callbacks_} {
-  node_.register_handler(sim::Port::kSts, [this](const sim::Packet& p, sim::NodeId from) {
+  node_.transport().register_handler(sim::Port::kSts, [this](const sim::Packet& p, sim::NodeId from) {
     sts_.handle_packet(p, from);
   });
-  node_.register_handler(sim::Port::kIvs, [this](const sim::Packet& p, sim::NodeId from) {
+  node_.transport().register_handler(sim::Port::kIvs, [this](const sim::Packet& p, sim::NodeId from) {
     ivs_.handle_packet(p, from);
   });
-  node_.add_inbound_filter([this](const sim::Packet& p, sim::NodeId from) {
+  node_.transport().add_inbound_filter([this](const sim::Packet& p, sim::NodeId from) {
     return filter_inbound(p, from);
   });
-  node_.add_outbound_filter([this](const sim::Packet& p, sim::NodeId next_hop) {
+  node_.transport().add_outbound_filter([this](const sim::Packet& p, sim::NodeId next_hop) {
     return filter_outbound(p, next_hop);
   });
 }
@@ -52,51 +52,51 @@ std::optional<AgreedMsg> InnerCircleNode::verify_agreed_bytes(
   return msg;
 }
 
-sim::FilterVerdict InnerCircleNode::filter_outbound(const sim::Packet& packet,
+net::FilterVerdict InnerCircleNode::filter_outbound(const sim::Packet& packet,
                                                     sim::NodeId next_hop) {
   for (const InterceptRule& rule : outgoing_rules_) {
     if (rule.match(packet, next_hop)) {
       // Redirect to the voting service (Fig 1: matching outgoing messages
       // are handed to the inner-circle services instead of the link layer).
-      node_.world().stats().add("icc.outgoing_intercepted");
+      node_.stats().add("icc.outgoing_intercepted");
       // The voting round descends from the intercepted packet (its uid is
       // already stamped: link_send stamps before the filter chain runs).
       ivs_.initiate(config_.mode, config_.level, rule.extract(packet, next_hop),
                     packet.uid);
-      return sim::FilterVerdict::kConsumed;
+      return net::FilterVerdict::kConsumed;
     }
   }
-  return sim::FilterVerdict::kPass;
+  return net::FilterVerdict::kPass;
 }
 
-sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
+net::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
                                                    sim::NodeId from) {
-  const sim::Time now = node_.world().now();
+  const sim::Time now = node_.now();
   // Convicted nodes are cut off entirely; temporarily suspected nodes only
   // lose access to the inner-circle services and guarded templates.
   if (suspicions_.convicted(from)) {
-    node_.world().stats().add("icc.suppressed_convicted");
-    node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
+    node_.stats().add("icc.suppressed_convicted");
+    node_.tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
                                  packet.uid, packet.size_bytes, 0.0, "suppressed_convicted",
                                  packet.uid, packet.parent});
-    fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from, 0,
+    fault::report_neutralized(node_, fault::FaultClass::kProtocol, from, 0,
                               packet.uid);
-    return sim::FilterVerdict::kDrop;
+    return net::FilterVerdict::kDrop;
   }
   const bool suspected = suspicions_.suspected(from, now);
   if (suspected && packet.port == sim::Port::kIvs) {
-    node_.world().stats().add("icc.suppressed_suspected");
-    node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
+    node_.stats().add("icc.suppressed_suspected");
+    node_.tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
                                  packet.uid, packet.size_bytes, 0.0, "suppressed_suspected",
                                  packet.uid, packet.parent});
-    return sim::FilterVerdict::kDrop;
+    return net::FilterVerdict::kDrop;
   }
   for (const IncomingMatcher& match : incoming_rules_) {
     if (match(packet)) {
       // Guarded template: the raw protocol message must never be accepted
       // off the air — only its agreed, signature-checked form is.
-      node_.world().stats().add("icc.suppressed_raw");
-      node_.world().tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
+      node_.stats().add("icc.suppressed_raw");
+      node_.tracer().emit({now, sim::TraceType::kPacketDrop, node_.id(), from,
                                    packet.uid, packet.size_bytes, 0.0, "suppressed_raw",
                                    packet.uid, packet.parent});
       // Discarding the raw template message is both the detection (the
@@ -104,14 +104,14 @@ sim::FilterVerdict InnerCircleNode::filter_inbound(const sim::Packet& packet,
       // neutralization (§3): a forged RREP never reaches the routing
       // service. Attributed to the sender — for the black hole that is the
       // attacker itself.
-      fault::report_detected(node_.world(), fault::FaultClass::kProtocol, from, 0,
+      fault::report_detected(node_, fault::FaultClass::kProtocol, from, 0,
                              packet.uid);
-      fault::report_neutralized(node_.world(), fault::FaultClass::kProtocol, from, 0,
+      fault::report_neutralized(node_, fault::FaultClass::kProtocol, from, 0,
                                 packet.uid);
-      return sim::FilterVerdict::kDrop;
+      return net::FilterVerdict::kDrop;
     }
   }
-  return sim::FilterVerdict::kPass;
+  return net::FilterVerdict::kPass;
 }
 
 }  // namespace icc::core

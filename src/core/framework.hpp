@@ -21,7 +21,7 @@
 #include "crypto/ns_lowe.hpp"
 #include "crypto/pki.hpp"
 #include "crypto/scheme.hpp"
-#include "sim/node.hpp"
+#include "net/host.hpp"
 
 namespace icc::core {
 
@@ -47,7 +47,7 @@ class InnerCircleNode {
   /// Matches incoming packets that must only ever arrive as agreed messages.
   using IncomingMatcher = std::function<bool(const sim::Packet& packet)>;
 
-  InnerCircleNode(sim::Node& node, InnerCircleConfig config,
+  InnerCircleNode(net::Host& node, InnerCircleConfig config,
                   crypto::ThresholdScheme& scheme, crypto::Pki& pki,
                   const crypto::AsymmetricCipher& cipher);
 
@@ -80,7 +80,7 @@ class InnerCircleNode {
   IvsService& ivs() noexcept { return ivs_; }
   SuspicionsManager& suspicions() noexcept { return suspicions_; }
   [[nodiscard]] const InnerCircleConfig& config() const noexcept { return config_; }
-  [[nodiscard]] sim::Node& node() noexcept { return node_; }
+  [[nodiscard]] net::Host& node() noexcept { return node_; }
 
  private:
   struct InterceptRule {
@@ -88,10 +88,10 @@ class InnerCircleNode {
     Extractor extract;
   };
 
-  sim::FilterVerdict filter_outbound(const sim::Packet& packet, sim::NodeId next_hop);
-  sim::FilterVerdict filter_inbound(const sim::Packet& packet, sim::NodeId from);
+  net::FilterVerdict filter_outbound(const sim::Packet& packet, sim::NodeId next_hop);
+  net::FilterVerdict filter_inbound(const sim::Packet& packet, sim::NodeId from);
 
-  sim::Node& node_;
+  net::Host& node_;
   InnerCircleConfig config_;
   Callbacks callbacks_;
   SuspicionsManager suspicions_;

@@ -2,31 +2,29 @@
 
 #include <algorithm>
 
-#include "sim/world.hpp"
-
 namespace icc::core {
 
 namespace {
 constexpr std::uint64_t kStsRngSalt = 0x53545300ull;  // "STS"
 }
 
-SecureTopologyService::SecureTopologyService(sim::Node& node, Params params,
+SecureTopologyService::SecureTopologyService(net::Host& node, Params params,
                                              const crypto::AsymmetricCipher& cipher)
     : node_{node},
       params_{params},
       cipher_{cipher},
-      rng_{node.world().fork_rng(kStsRngSalt + node.id())} {
+      rng_{node.fork_rng(kStsRngSalt + node.id())} {
   if (params_.period <= 0.0) params_.period = 0.45 * params_.delta_sts;
 }
 
-sim::Time SecureTopologyService::now() const { return node_.world().now(); }
+sim::Time SecureTopologyService::now() const { return node_.now(); }
 
 void SecureTopologyService::start() {
   // Desynchronize the first beacon across nodes.
   const sim::Time window =
       params_.initial_beacon_delay > 0.0 ? params_.initial_beacon_delay : params_.period;
-  node_.world().sched().schedule_in(rng_.uniform(0.0, window), [this] { send_beacon(); },
-                                    sim::EventTag::kVoting);
+  node_.clock().schedule_in(rng_.uniform(0.0, window), [this] { send_beacon(); },
+                            net::EventTag::kVoting);
 }
 
 std::vector<sim::NodeId> SecureTopologyService::inner_circle() const {
@@ -121,12 +119,12 @@ void SecureTopologyService::send_beacon() {
   packet.port = sim::Port::kSts;
   packet.size_bytes = static_cast<std::uint32_t>(24 + 36 * beacon->neighbors.size());
   packet.body = beacon;
-  node_.link_send_unfiltered(std::move(packet), sim::kBroadcast);
-  node_.world().stats().add("sts.beacons_sent");
+  node_.transport().send_unfiltered(std::move(packet), sim::kBroadcast);
+  node_.stats().add("sts.beacons_sent");
 
   const double jitter = rng_.uniform(0.9, 1.1);
-  node_.world().sched().schedule_in(params_.period * jitter, [this] { send_beacon(); },
-                                    sim::EventTag::kVoting);
+  node_.clock().schedule_in(params_.period * jitter, [this] { send_beacon(); },
+                            net::EventTag::kVoting);
 }
 
 void SecureTopologyService::handle_packet(const sim::Packet& packet, sim::NodeId from) {
@@ -168,7 +166,7 @@ void SecureTopologyService::handle_beacon(const StsBeacon& beacon, sim::NodeId /
     // only on our side (lost message 3), or the beacon is forged. Keep the
     // link but do not refresh it from this beacon; once the link has gone
     // stale, restart authentication from scratch.
-    node_.world().stats().add("sts.beacons_unverified");
+    node_.stats().add("sts.beacons_unverified");
     if (now() - peer.last_heard > params_.delta_sts) {
       peer.authenticated = false;
       peer.handshake.reset();
@@ -181,7 +179,7 @@ void SecureTopologyService::handle_beacon(const StsBeacon& beacon, sim::NodeId /
   peer.pos_known = true;
   peer.claimed_neighbors = beacon.neighbors;
   peer.claim_time = now();
-  node_.world().stats().add("sts.beacons_accepted");
+  node_.stats().add("sts.beacons_accepted");
 }
 
 void SecureTopologyService::maybe_begin_handshake(sim::NodeId peer_id) {
@@ -207,8 +205,8 @@ void SecureTopologyService::send_nsl(sim::NodeId to, int phase, crypto::Cipherte
   packet.port = sim::Port::kSts;
   packet.size_bytes = static_cast<std::uint32_t>(12 + msg->ct.data.size() + 36);
   packet.body = std::move(msg);
-  node_.link_send_unfiltered(std::move(packet), to);
-  node_.world().stats().add("sts.nsl_sent");
+  node_.transport().send_unfiltered(std::move(packet), to);
+  node_.stats().add("sts.nsl_sent");
 }
 
 void SecureTopologyService::handle_nsl(const NslMsg& msg, sim::NodeId from) {
@@ -238,7 +236,7 @@ void SecureTopologyService::handle_nsl(const NslMsg& msg, sim::NodeId from) {
       peer.key = peer.handshake->session_key();
       peer.last_heard = t;  // the handshake itself is authenticated contact
       peer.handshake.reset();
-      node_.world().stats().add("sts.handshakes_completed");
+      node_.stats().add("sts.handshakes_completed");
       break;
     }
     case 3: {
@@ -250,7 +248,7 @@ void SecureTopologyService::handle_nsl(const NslMsg& msg, sim::NodeId from) {
       peer.key = peer.handshake->session_key();
       peer.last_heard = t;
       peer.handshake.reset();
-      node_.world().stats().add("sts.handshakes_completed");
+      node_.stats().add("sts.handshakes_completed");
       break;
     }
     default:

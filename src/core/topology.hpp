@@ -20,7 +20,7 @@
 
 #include "core/messages.hpp"
 #include "crypto/ns_lowe.hpp"
-#include "sim/node.hpp"
+#include "net/host.hpp"
 #include "sim/rng.hpp"
 
 namespace icc::core {
@@ -37,7 +37,7 @@ class SecureTopologyService {
     sim::Time initial_beacon_delay{0.0};
   };
 
-  SecureTopologyService(sim::Node& node, Params params,
+  SecureTopologyService(net::Host& node, Params params,
                         const crypto::AsymmetricCipher& cipher);
 
   /// Begin beaconing. Call once after construction.
@@ -84,7 +84,7 @@ class SecureTopologyService {
   [[nodiscard]] crypto::Nonce fresh_nonce();
   [[nodiscard]] sim::Time now() const;
 
-  sim::Node& node_;
+  net::Host& node_;
   Params params_;
   const crypto::AsymmetricCipher& cipher_;
   sim::Rng rng_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "sim/check.hpp"
-#include "sim/world.hpp"
+#include "sim/trace.hpp"
 
 namespace icc::core {
 
@@ -13,15 +13,15 @@ namespace {
 // suspicion/conviction is emitted here at the decision site. Each gets its
 // own span; the parent is the packet being processed (the lineage scope the
 // inbound handler established), i.e. the evidence.
-void trace_suspicion(sim::World& world, sim::NodeId accuser, sim::NodeId suspect,
+void trace_suspicion(net::Services& services, sim::NodeId accuser, sim::NodeId suspect,
                      sim::TraceType type, const char* reason) {
-  world.tracer().emit({world.now(), type, accuser, suspect, 0, 0, 0.0, reason,
-                       world.next_span(), world.lineage_parent()});
+  services.tracer().emit({services.now(), type, accuser, suspect, 0, 0, 0.0, reason,
+                          services.next_span(), services.lineage_parent()});
 }
 
 }  // namespace
 
-IvsService::IvsService(sim::Node& node, Params params, SecureTopologyService& sts,
+IvsService::IvsService(net::Host& node, Params params, SecureTopologyService& sts,
                        SuspicionsManager& suspicions, crypto::ThresholdScheme& scheme,
                        std::unique_ptr<crypto::ThresholdSigner> signer, crypto::Pki& pki,
                        std::unique_ptr<crypto::NodeSigner> node_signer, Callbacks& callbacks)
@@ -35,11 +35,11 @@ IvsService::IvsService(sim::Node& node, Params params, SecureTopologyService& st
       node_signer_{std::move(node_signer)},
       callbacks_{callbacks} {}
 
-sim::Time IvsService::now() const { return node_.world().now(); }
+sim::Time IvsService::now() const { return node_.now(); }
 
 void IvsService::charge_crypto(sim::Time) {
   node_.energy().charge_extra(params_.cost.energy_per_op_j);
-  node_.world().tracer().emit({now(), sim::TraceType::kEnergyCharge, node_.id(), sim::kNoNode,
+  node_.tracer().emit({now(), sim::TraceType::kEnergyCharge, node_.id(), sim::kNoNode,
                                0, 0, params_.cost.energy_per_op_j, "crypto"});
 }
 
@@ -50,7 +50,7 @@ void IvsService::broadcast(std::shared_ptr<const sim::Payload> body, std::uint32
   packet.port = sim::Port::kIvs;
   packet.size_bytes = size;
   packet.body = std::move(body);
-  node_.link_send_unfiltered(std::move(packet), sim::kBroadcast);
+  node_.transport().send_unfiltered(std::move(packet), sim::kBroadcast);
 }
 
 void IvsService::unicast(sim::NodeId to, std::shared_ptr<const sim::Payload> body,
@@ -61,7 +61,7 @@ void IvsService::unicast(sim::NodeId to, std::shared_ptr<const sim::Payload> bod
   packet.port = sim::Port::kIvs;
   packet.size_bytes = size;
   packet.body = std::move(body);
-  node_.link_send_unfiltered(std::move(packet), to);
+  node_.transport().send_unfiltered(std::move(packet), to);
 }
 
 Value IvsService::fuse_sorted(std::vector<ValueMsg> evidence) const {
@@ -82,9 +82,9 @@ std::uint64_t IvsService::initiate(VotingMode mode, int level, Value value,
   round.mode = mode;
   round.level = level;
   round.center_value = std::move(value);
-  round.span = node_.world().next_span();
-  node_.world().stats().add("ivs.rounds_started");
-  node_.world().tracer().emit({now(), sim::TraceType::kVoteRoundStart, node_.id(), sim::kNoNode,
+  round.span = node_.next_span();
+  node_.stats().add("ivs.rounds_started");
+  node_.tracer().emit({now(), sim::TraceType::kVoteRoundStart, node_.id(), sim::kNoNode,
                                round_id, 0, static_cast<double>(level),
                                mode == VotingMode::kDeterministic ? "deterministic"
                                                                   : "statistical",
@@ -167,21 +167,21 @@ void IvsService::begin_propose_phase(std::uint64_t round_id, Round& round) {
 }
 
 void IvsService::arm_timeout(std::uint64_t round_id, Round& round) {
-  node_.world().sched().cancel(round.timeout);
-  round.timeout = node_.world().sched().schedule_in(
+  node_.clock().cancel(round.timeout);
+  round.timeout = node_.clock().schedule_in(
       params_.vote_timeout, [this, round_id] { abort_round(round_id); },
-      sim::EventTag::kVoting);
+      net::EventTag::kVoting);
 }
 
 void IvsService::abort_round(std::uint64_t round_id) {
   const auto it = rounds_.find(round_id);
   if (it == rounds_.end()) return;
-  node_.world().sched().cancel(it->second.timeout);
+  node_.clock().cancel(it->second.timeout);
   const Value value = std::move(it->second.center_value);
   const std::uint64_t round_span = it->second.span;
   rounds_.erase(it);
-  node_.world().stats().add("ivs.rounds_aborted");
-  node_.world().tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
+  node_.stats().add("ivs.rounds_aborted");
+  node_.tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
                                round_id, 0, 0.0, "aborted", round_span, 0});
   if (callbacks_.on_abort) callbacks_.on_abort(round_id, value);
 }
@@ -214,7 +214,7 @@ void IvsService::handle_value(const ValueMsg& msg, sim::NodeId from) {
                    ValueMsg::value_bytes(node_.id(), msg.round, msg.sender, msg.value),
                    msg.sig)) {
     suspicions_.suspect_temporarily(from, now(), "bad value signature");
-    trace_suspicion(node_.world(), node_.id(), from, sim::TraceType::kSuspect,
+    trace_suspicion(node_, node_.id(), from, sim::TraceType::kSuspect,
                     "bad_value_signature");
     return;
   }
@@ -259,7 +259,7 @@ void IvsService::handle_ack(const AckMsg& msg, sim::NodeId from) {
   charge_crypto(params_.cost.verify_delay);
   if (!scheme_.verify_partial(signed_bytes, msg.psig)) {
     suspicions_.suspect_temporarily(msg.sender, now(), "bad partial signature");
-    trace_suspicion(node_.world(), node_.id(), msg.sender, sim::TraceType::kSuspect,
+    trace_suspicion(node_, node_.id(), msg.sender, sim::TraceType::kSuspect,
                     "bad_partial_signature");
     return;
   }
@@ -297,14 +297,14 @@ void IvsService::complete_round(std::uint64_t round_id, Round& round) {
   agreed->value = round.agreed_value;
   agreed->sig = std::move(*sig);
 
-  node_.world().sched().cancel(round.timeout);
+  node_.clock().cancel(round.timeout);
   // `round` references the map node: copy everything the emit needs before
   // erase invalidates it.
   const int level = round.level;
   const std::uint64_t round_span = round.span;
   rounds_.erase(round_id);
-  node_.world().stats().add("ivs.rounds_completed");
-  node_.world().tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
+  node_.stats().add("ivs.rounds_completed");
+  node_.tracer().emit({now(), sim::TraceType::kVoteVerdict, node_.id(), sim::kNoNode,
                                round_id, 0, static_cast<double>(level), "completed",
                                round_span, 0});
 
@@ -351,9 +351,9 @@ void IvsService::handle_solicit(const SolicitMsg& msg, sim::NodeId from) {
   // relay that delivered the solicit. Crypto latency: the reply leaves
   // after the signing delay.
   const sim::NodeId next_hop = direct ? msg.center : from;
-  node_.world().sched().schedule_in(params_.cost.sign_delay, [this, next_hop, reply, size] {
+  node_.clock().schedule_in(params_.cost.sign_delay, [this, next_hop, reply, size] {
     unicast(next_hop, reply, size);
-  }, sim::EventTag::kVoting);
+  }, net::EventTag::kVoting);
 }
 
 void IvsService::handle_propose(const ProposeMsg& msg, sim::NodeId from) {
@@ -384,7 +384,7 @@ void IvsService::handle_propose(const ProposeMsg& msg, sim::NodeId from) {
       msg.center_sig);
   if (!center_sig_ok) {
     suspicions_.suspect_temporarily(from, now(), "bad propose signature");
-    trace_suspicion(node_.world(), node_.id(), from, sim::TraceType::kSuspect,
+    trace_suspicion(node_, node_.id(), from, sim::TraceType::kSuspect,
                     "bad_propose_signature");
     return;
   }
@@ -397,7 +397,7 @@ void IvsService::handle_propose(const ProposeMsg& msg, sim::NodeId from) {
     // misbehavior — the dependability level L is what stops an invalid
     // value from gathering enough approvals.
     if (callbacks_.check && !callbacks_.check(msg.center, msg.value)) {
-      node_.world().stats().add("ivs.check_rejected");
+      node_.stats().add("ivs.check_rejected");
       return;
     }
   } else {
@@ -425,13 +425,13 @@ void IvsService::handle_propose(const ProposeMsg& msg, sim::NodeId from) {
     const Value recomputed = fuse_sorted(msg.evidence);
     if (recomputed != msg.value) {
       suspicions_.convict(msg.center, "statistical fusion mismatch");
-      trace_suspicion(node_.world(), node_.id(), msg.center, sim::TraceType::kConvict,
+      trace_suspicion(node_, node_.id(), msg.center, sim::TraceType::kConvict,
                       "fusion_mismatch");
-      node_.world().stats().add("ivs.fusion_rejected");
+      node_.stats().add("ivs.fusion_rejected");
       return;
     }
     if (callbacks_.check && !callbacks_.check(msg.center, msg.value)) {
-      node_.world().stats().add("ivs.check_rejected");
+      node_.stats().add("ivs.check_rejected");
       return;
     }
   }
@@ -448,10 +448,10 @@ void IvsService::send_ack(sim::NodeId center, sim::NodeId next_hop, std::uint64_
   charge_crypto(params_.cost.sign_delay);
   ack->psig = signer_->partial_sign(level, AgreedMsg::signed_bytes(center, round, level, value));
   const auto size = static_cast<std::uint32_t>(20 + scheme_.partial_sig_bytes());
-  node_.world().sched().schedule_in(params_.cost.sign_delay, [this, next_hop, ack, size] {
+  node_.clock().schedule_in(params_.cost.sign_delay, [this, next_hop, ack, size] {
     unicast(next_hop, ack, size);
-  }, sim::EventTag::kVoting);
-  node_.world().stats().add("ivs.acks_sent");
+  }, net::EventTag::kVoting);
+  node_.stats().add("ivs.acks_sent");
 }
 
 void IvsService::handle_agreed(const AgreedMsg& msg, sim::NodeId from) {
@@ -467,12 +467,12 @@ void IvsService::handle_agreed(const AgreedMsg& msg, sim::NodeId from) {
   charge_crypto(params_.cost.verify_delay);
   if (!verify_agreed(msg)) {
     suspicions_.suspect_temporarily(from, now(), "invalid agreed signature");
-    trace_suspicion(node_.world(), node_.id(), from, sim::TraceType::kSuspect,
+    trace_suspicion(node_, node_.id(), from, sim::TraceType::kSuspect,
                     "invalid_agreed_signature");
-    node_.world().stats().add("ivs.agreed_rejected");
+    node_.stats().add("ivs.agreed_rejected");
     return;
   }
-  node_.world().stats().add("ivs.agreed_delivered");
+  node_.stats().add("ivs.agreed_delivered");
   if (callbacks_.on_agreed) callbacks_.on_agreed(msg, /*is_center=*/false);
 }
 

@@ -28,7 +28,7 @@
 #include "core/topology.hpp"
 #include "crypto/pki.hpp"
 #include "crypto/scheme.hpp"
-#include "sim/node.hpp"
+#include "net/host.hpp"
 
 namespace icc::core {
 
@@ -43,7 +43,7 @@ class IvsService {
     int circle_hops{1};
   };
 
-  IvsService(sim::Node& node, Params params, SecureTopologyService& sts,
+  IvsService(net::Host& node, Params params, SecureTopologyService& sts,
              SuspicionsManager& suspicions, crypto::ThresholdScheme& scheme,
              std::unique_ptr<crypto::ThresholdSigner> signer, crypto::Pki& pki,
              std::unique_ptr<crypto::NodeSigner> node_signer, Callbacks& callbacks);
@@ -79,7 +79,7 @@ class IvsService {
     std::set<sim::NodeId> partial_senders;
     std::vector<ValueMsg> evidence;  ///< statistical: signed observations
     std::set<sim::NodeId> value_senders;
-    sim::Scheduler::EventId timeout{sim::Scheduler::kNoEvent};
+    net::TimerId timeout{net::kNoTimer};
     std::uint64_t span{0};  ///< lineage span naming this round in the trace
   };
 
@@ -105,7 +105,7 @@ class IvsService {
   [[nodiscard]] Value fuse_sorted(std::vector<ValueMsg> evidence) const;
   [[nodiscard]] sim::Time now() const;
 
-  sim::Node& node_;
+  net::Host& node_;
   Params params_;
   SecureTopologyService& sts_;
   SuspicionsManager& suspicions_;

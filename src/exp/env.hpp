@@ -3,21 +3,46 @@
 // Every bench used to carry its own copy of these helpers; they live here
 // once so the knob set (ICC_RUNS, ICC_SIM_TIME, ICC_THREADS, ICC_JSON,
 // ICC_CAMPAIGN_JOURNAL, ...) is parsed uniformly.
+//
+// Parsing is strict: a malformed value (ICC_THREADS=1O, ICC_SIM_TIME=3OO.0)
+// aborts with a message naming the variable instead of silently truncating
+// to a numeric prefix the way atoi/atof would — a typo'd knob must never
+// launch a multi-hour campaign with the wrong parameters.
 #pragma once
 
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace icc::exp {
 
+[[noreturn]] inline void env_fail(const char* name, const char* value, const char* want) {
+  std::fprintf(stderr, "env: %s='%s' is not a valid %s\n", name, value, want);
+  std::abort();
+}
+
 inline int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
+  if (v == nullptr || *v == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    env_fail(name, v, "integer");
+  }
+  return static_cast<int>(parsed);
 }
 
 inline double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+  if (v == nullptr || *v == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) env_fail(name, v, "number");
+  return parsed;
 }
 
 /// Returns the variable's value, or `fallback` when unset or empty.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string_view>
 
+#include "net/host.hpp"
 #include "sim/report.hpp"
 #include "sim/world.hpp"
 
@@ -21,14 +22,14 @@ std::string stage_counter_name(FaultClass c, Stage stage) {
   return name;
 }
 
-void report(sim::World& world, FaultClass c, sim::NodeId node, Stage stage,
+void report(net::Services& services, FaultClass c, sim::NodeId node, Stage stage,
             sim::TraceType type, std::uint64_t span, std::uint64_t parent) {
-  auto& metrics = world.metrics();
+  auto& metrics = services.metrics();
   const std::string base = stage_counter_name(c, stage);
   metrics.add(metrics.counter_id(base));
   if (node != sim::kNoNode) metrics.add(metrics.node_counter_id(base, node));
-  world.tracer().emit({world.now(), type, node, sim::kNoNode, 0, 0, 0.0,
-                       fault_class_name(c), span, parent});
+  services.tracer().emit({services.now(), type, node, sim::kNoNode, 0, 0, 0.0,
+                          fault_class_name(c), span, parent});
 }
 
 }  // namespace
@@ -49,23 +50,25 @@ const char* fault_class_name(FaultClass c) noexcept {
   return "?";
 }
 
-void report_injected(sim::World& world, FaultClass c, sim::NodeId node,
+void report_injected(net::Services& services, FaultClass c, sim::NodeId node,
                      std::uint64_t span, std::uint64_t parent) {
-  report(world, c, node, kInjected, sim::TraceType::kFaultInjected, span, parent);
+  report(services, c, node, kInjected, sim::TraceType::kFaultInjected, span, parent);
 }
 
-void report_detected(sim::World& world, FaultClass c, sim::NodeId node,
+void report_detected(net::Services& services, FaultClass c, sim::NodeId node,
                      std::uint64_t span, std::uint64_t parent) {
-  report(world, c, node, kDetected, sim::TraceType::kFaultDetected, span, parent);
+  report(services, c, node, kDetected, sim::TraceType::kFaultDetected, span, parent);
 }
 
-void report_neutralized(sim::World& world, FaultClass c, sim::NodeId node,
+void report_neutralized(net::Services& services, FaultClass c, sim::NodeId node,
                         std::uint64_t span, std::uint64_t parent) {
-  report(world, c, node, kNeutralized, sim::TraceType::kFaultNeutralized, span, parent);
+  report(services, c, node, kNeutralized, sim::TraceType::kFaultNeutralized, span, parent);
 }
+
+CoverageLedger::CoverageLedger(const sim::World& world) : metrics_{world.metrics()} {}
 
 CoverageRow CoverageLedger::row(FaultClass c) const {
-  const auto& metrics = world_.metrics();
+  const auto& metrics = metrics_;
   const auto raw = [&](Stage stage) {
     return static_cast<std::uint64_t>(metrics.counter_value(stage_counter_name(c, stage)));
   };
@@ -91,7 +94,7 @@ bool CoverageLedger::consistent() const {
       const std::string node_prefix = base + ".n";
       double node_sum = 0.0;
       bool any_node = false;
-      world_.metrics().for_each_counter([&](const std::string& name, double value) {
+      metrics_.for_each_counter([&](const std::string& name, double value) {
         if (name.size() > node_prefix.size() &&
             std::string_view{name}.substr(0, node_prefix.size()) == node_prefix) {
           node_sum += value;
@@ -101,7 +104,7 @@ bool CoverageLedger::consistent() const {
       // Every per-node increment also bumps the class total, so the split
       // counters must sum to it exactly (reports with node == kNoNode have
       // no per-node part and only show up when nothing was attributed).
-      if (any_node && node_sum != world_.metrics().counter_value(base)) return false;
+      if (any_node && node_sum != metrics_.counter_value(base)) return false;
     }
     const CoverageRow r = row(c);
     if (r.injected != r.detected + r.escaped) return false;

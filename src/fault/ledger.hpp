@@ -33,7 +33,12 @@
 
 #include "sim/types.hpp"
 
+namespace icc::net {
+class Services;
+}  // namespace icc::net
+
 namespace icc::sim {
+class MetricsRegistry;
 class World;
 class RunReport;
 }  // namespace icc::sim
@@ -53,18 +58,21 @@ inline constexpr std::size_t kNumFaultClasses = static_cast<std::size_t>(FaultCl
 ///
 /// The optional lineage fields tie the booking into the causal trace
 /// (see sim/trace.hpp): `span` names the booking itself when the caller
-/// allocated one (World::next_span), `parent` points at the packet or
+/// allocated one (Services::next_span), `parent` points at the packet or
 /// accusation that caused it. Zero means "not linked".
-void report_injected(sim::World& world, FaultClass c, sim::NodeId node,
+///
+/// Takes the net::Services surface (metrics + tracer + clock) so the same
+/// bookings work from simulated nodes and from live testnet daemons.
+void report_injected(net::Services& services, FaultClass c, sim::NodeId node,
                      std::uint64_t span = 0, std::uint64_t parent = 0);
 /// A defense observed a fault's effect (guard check failed, watchdog charged
 /// a failure, a route broke, fusion excluded a reading, CRC/ack caught a
 /// damaged frame).
-void report_detected(sim::World& world, FaultClass c, sim::NodeId node,
+void report_detected(net::Services& services, FaultClass c, sim::NodeId node,
                      std::uint64_t span = 0, std::uint64_t parent = 0);
 /// A defense masked the effect before it could spread (raw RREP suppressed,
 /// pathrater rerouted, fused value agreed despite faulty readings).
-void report_neutralized(sim::World& world, FaultClass c, sim::NodeId node,
+void report_neutralized(net::Services& services, FaultClass c, sim::NodeId node,
                         std::uint64_t span = 0, std::uint64_t parent = 0);
 
 /// One fault class's coverage totals with the capping above applied.
@@ -75,10 +83,13 @@ struct CoverageRow {
   std::uint64_t escaped{0};      ///< injected - detected
 };
 
-/// Read-only view over a world's fault counters.
+/// Read-only view over a metrics registry's fault counters. Constructible
+/// from a World (the usual simulator path) or from a bare registry (testnet
+/// daemons, which have no World).
 class CoverageLedger {
  public:
-  explicit CoverageLedger(const sim::World& world) : world_{world} {}
+  explicit CoverageLedger(const sim::World& world);
+  explicit CoverageLedger(const sim::MetricsRegistry& metrics) : metrics_{metrics} {}
 
   [[nodiscard]] CoverageRow row(FaultClass c) const;
   [[nodiscard]] std::array<CoverageRow, kNumFaultClasses> rows() const;
@@ -94,7 +105,7 @@ class CoverageLedger {
   void add_to_report(sim::RunReport& report) const;
 
  private:
-  const sim::World& world_;
+  const sim::MetricsRegistry& metrics_;
 };
 
 }  // namespace icc::fault

@@ -1,0 +1,86 @@
+// Pluggable event clock: the scheduling interface the protocol stack sees.
+//
+// Protocol code (AODV, the inner-circle services, the sensor stack) never
+// talks to the simulator's Scheduler or to std::chrono directly — it arms
+// timers through this interface. Two implementations exist: the simulator's
+// discrete-event Scheduler (sim/scheduler.hpp) and the wall-clock
+// SteadyClock used by the UDP deployment mode (net/steady_clock.hpp). The
+// contract is identical in both: closures ordered by (time, insertion
+// sequence) with FIFO ties, cancellable ids, cancel/pending on a fired or
+// unknown id a harmless no-op.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hpp"
+
+namespace icc::net {
+
+/// Seconds. In the simulator this is simulated time since the start of the
+/// run; under a wall-clock implementation it is seconds since the clock's
+/// epoch. Protocol code only ever computes with differences, so it cannot
+/// tell the two apart.
+using Time = sim::Time;
+
+/// Coarse category an event belongs to — used by the simulator's wall-clock
+/// profiler and by the fault injector's timer-warp hook. Call sites that
+/// don't care use the default.
+enum class EventTag : std::uint8_t {
+  kGeneric = 0,
+  kMac,       ///< CSMA backoff/ack timers, frame completions
+  kMobility,  ///< waypoint leg changes
+  kTraffic,   ///< CBR application sends
+  kRouting,   ///< AODV timers and jittered re-floods
+  kVoting,    ///< inner-circle STS/IVS timers
+  kSensor,    ///< sensing epochs and diffusion timers
+  kCount
+};
+
+inline constexpr std::size_t kNumEventTags = static_cast<std::size_t>(EventTag::kCount);
+
+[[nodiscard]] inline const char* event_tag_name(EventTag tag) noexcept {
+  switch (tag) {
+    case EventTag::kGeneric: return "generic";
+    case EventTag::kMac: return "mac";
+    case EventTag::kMobility: return "mobility";
+    case EventTag::kTraffic: return "traffic";
+    case EventTag::kRouting: return "routing";
+    case EventTag::kVoting: return "voting";
+    case EventTag::kSensor: return "sensor";
+    case EventTag::kCount: break;
+  }
+  return "?";
+}
+
+/// Handle to a pending timer. 0 never names a live timer.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time on this clock.
+  [[nodiscard]] virtual Time now() const noexcept = 0;
+
+  /// Schedule `fn` to run at absolute time `t` (>= now; earlier times clamp
+  /// to "immediately"). Returns a cancellable id, never kNoTimer.
+  virtual TimerId schedule_at(Time t, std::function<void()> fn,
+                              EventTag tag = EventTag::kGeneric) = 0;
+
+  /// Schedule `fn` to run `dt` seconds from now.
+  TimerId schedule_in(Time dt, std::function<void()> fn, EventTag tag = EventTag::kGeneric) {
+    return schedule_at(now() + dt, std::move(fn), tag);
+  }
+
+  /// Cancel a pending timer. Cancelling an already-fired or unknown id is a
+  /// harmless no-op, which keeps timer bookkeeping in protocol code simple.
+  virtual void cancel(TimerId id) = 0;
+
+  /// Whether a timer is still pending.
+  [[nodiscard]] virtual bool pending(TimerId id) const = 0;
+};
+
+}  // namespace icc::net

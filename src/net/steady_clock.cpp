@@ -1,0 +1,58 @@
+#include "net/steady_clock.hpp"
+
+#include <limits>
+
+namespace icc::net {
+
+SteadyClock::SteadyClock(std::int64_t epoch_unix_us) {
+  anchor_ = std::chrono::steady_clock::now();
+  if (epoch_unix_us != 0) {
+    const std::int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                    std::chrono::system_clock::now().time_since_epoch())
+                                    .count();
+    skew_ = static_cast<double>(now_us - epoch_unix_us) * 1e-6;
+  }
+}
+
+Time SteadyClock::now() const noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - anchor_;
+  return skew_ + std::chrono::duration<double>(elapsed).count();
+}
+
+TimerId SteadyClock::schedule_at(Time t, std::function<void()> fn, EventTag /*tag*/) {
+  const TimerId id = next_id_++;
+  timers_.emplace(Key{t, id}, std::move(fn));
+  armed_.emplace(id, t);
+  return id;
+}
+
+void SteadyClock::cancel(TimerId id) {
+  const auto it = armed_.find(id);
+  if (it == armed_.end()) return;
+  timers_.erase(Key{it->second, id});
+  armed_.erase(it);
+}
+
+bool SteadyClock::pending(TimerId id) const { return armed_.count(id) != 0; }
+
+Time SteadyClock::next_deadline() const noexcept {
+  if (timers_.empty()) return std::numeric_limits<Time>::max();
+  return timers_.begin()->first.first;
+}
+
+std::size_t SteadyClock::fire_due() {
+  std::size_t fired = 0;
+  // Re-read the clock each iteration: callbacks may arm timers "for now",
+  // and wall time has moved on since this pass started.
+  while (!timers_.empty() && timers_.begin()->first.first <= now()) {
+    auto it = timers_.begin();
+    std::function<void()> fn = std::move(it->second);
+    armed_.erase(it->first.second);
+    timers_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace icc::net

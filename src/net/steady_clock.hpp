@@ -1,0 +1,52 @@
+// Wall-time Clock implementation for deployment mode.
+//
+// Simulated runs get their Clock from the event scheduler; a daemon gets it
+// from the OS. SteadyClock measures seconds on std::chrono::steady_clock
+// (immune to NTP steps) but anchors t=0 at a shared run epoch expressed in
+// unix microseconds, so the N daemons of one testnet run — started a few
+// milliseconds apart — agree about "time since run start" and cross-process
+// latency samples are meaningful.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "net/clock.hpp"
+
+namespace icc::net {
+
+class SteadyClock final : public Clock {
+ public:
+  /// `epoch_unix_us`: shared run epoch (unix microseconds, system clock);
+  /// 0 anchors the epoch at construction instead.
+  explicit SteadyClock(std::int64_t epoch_unix_us = 0);
+
+  [[nodiscard]] Time now() const noexcept override;
+  TimerId schedule_at(Time t, std::function<void()> fn,
+                      EventTag tag = EventTag::kGeneric) override;
+  void cancel(TimerId id) override;
+  [[nodiscard]] bool pending(TimerId id) const override;
+
+  /// Earliest armed deadline, or a huge sentinel when no timer is armed.
+  /// The owning poll loop sleeps until min(next_deadline, socket activity).
+  [[nodiscard]] Time next_deadline() const noexcept;
+
+  /// Fire every timer whose deadline has passed, in (deadline, id) order.
+  /// Callbacks may arm new timers; ones already due fire in the same call.
+  /// Returns the number fired.
+  std::size_t fire_due();
+
+ private:
+  std::chrono::steady_clock::time_point anchor_;
+  double skew_{0.0};  ///< seconds from the shared epoch to the anchor
+
+  using Key = std::pair<Time, TimerId>;
+  TimerId next_id_{1};
+  std::map<Key, std::function<void()>> timers_;
+  std::map<TimerId, Time> armed_;  ///< reverse index for cancel / pending
+};
+
+}  // namespace icc::net

@@ -1,0 +1,208 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/codec.hpp"
+
+namespace icc::net {
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+constexpr std::size_t kMaxDatagram = 65507;
+
+// Deployment-mode setup errors are real runtime failures (port in use, fd
+// limits), not debug invariants — fail unconditionally, not via ICC_CHECK,
+// which compiles out in Release.
+[[noreturn]] void fatal(const char* msg) {
+  std::fprintf(stderr, "net: fatal: %s (errno: %s)\n", msg, std::strerror(errno));
+  std::abort();
+}
+
+}  // namespace
+
+UdpHost::UdpHost(UdpConfig config)
+    : config_{config},
+      clock_{config.epoch_unix_us},
+      rng_{config.seed},
+      next_uid_{((static_cast<std::uint64_t>(config.id) + 1) << 40) | 1},
+      outbound_dropped_id_{metrics().counter_id("node.outbound_dropped")},
+      inbound_dropped_id_{metrics().counter_id("node.inbound_dropped")},
+      tx_frames_id_{metrics().counter_id("net.udp.tx_frames")},
+      rx_frames_id_{metrics().counter_id("net.udp.rx_frames")},
+      rx_rejected_id_{metrics().counter_id("net.udp.rx_rejected")} {
+  if (config_.num_nodes <= config_.id) fatal("node id outside the testnet size");
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) fatal("udp socket creation failed");
+  const sockaddr_in addr =
+      loopback_addr(static_cast<std::uint16_t>(config_.base_port + config_.id));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fatal("udp bind failed (port already in use?)");
+  }
+  rx_scratch_.resize(kMaxDatagram);
+}
+
+UdpHost::~UdpHost() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpHost::stamp_lineage(sim::Packet& packet) {
+  if (packet.uid == 0) packet.uid = next_packet_uid();
+  if (packet.parent == 0 && lineage_parent_ != packet.uid) {
+    packet.parent = lineage_parent_;
+  }
+}
+
+void UdpHost::send(sim::Packet packet, sim::NodeId next_hop) {
+  stamp_lineage(packet);
+  for (const OutboundFilter& filter : outbound_filters_) {
+    switch (filter(packet, next_hop)) {
+      case FilterVerdict::kPass:
+        break;
+      case FilterVerdict::kDrop:
+        metrics().add(outbound_dropped_id_);
+        tracer_.emit({now(), sim::TraceType::kPacketDrop, id(), next_hop, packet.uid,
+                      packet.size_bytes, 0.0, "outbound_filter", packet.uid, packet.parent});
+        return;
+      case FilterVerdict::kConsumed:
+        return;
+    }
+  }
+  send_unfiltered(std::move(packet), next_hop);
+}
+
+void UdpHost::send_unfiltered(sim::Packet packet, sim::NodeId next_hop) {
+  stamp_lineage(packet);
+  sim::Frame frame;
+  frame.tx = id();
+  frame.rx = next_hop;
+  frame.packet = std::move(packet);
+  if (!encode_frame(frame, tx_scratch_)) {
+    stats_.add("net.udp.uncodable");
+    return;
+  }
+  tracer_.emit({now(), sim::TraceType::kPacketTx, id(), frame.rx, frame.packet.uid,
+                frame.packet.size_bytes, 0.0, nullptr, frame.packet.uid,
+                frame.packet.parent});
+  metrics().add(tx_frames_id_);
+  broadcast_bytes(tx_scratch_);
+}
+
+void UdpHost::broadcast_bytes(const std::vector<std::uint8_t>& bytes) {
+  // Shared-medium emulation: every frame reaches every peer; the receiver
+  // decides between delivery and promiscuous overhearing.
+  for (std::size_t peer = 0; peer < config_.num_nodes; ++peer) {
+    if (peer == config_.id) continue;
+    const sockaddr_in addr =
+        loopback_addr(static_cast<std::uint16_t>(config_.base_port + peer));
+    (void)::sendto(fd_, bytes.data(), bytes.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+}
+
+void UdpHost::register_handler(sim::Port port, Handler handler) {
+  handlers_.at(static_cast<std::size_t>(port)) = std::move(handler);
+}
+
+void UdpHost::add_promiscuous_listener(PromiscuousListener listener) {
+  promiscuous_.push_back(std::move(listener));
+}
+
+void UdpHost::add_inbound_filter(InboundFilter filter) {
+  inbound_filters_.push_back(std::move(filter));
+}
+
+void UdpHost::add_outbound_filter(OutboundFilter filter) {
+  outbound_filters_.push_back(std::move(filter));
+}
+
+void UdpHost::set_send_failed_handler(SendFailedHandler handler) {
+  send_failed_ = std::move(handler);
+}
+
+void UdpHost::drain_socket() {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, rx_scratch_.data(), rx_scratch_.size(), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient socket error: drop and keep serving
+    }
+    metrics().add(rx_frames_id_);
+    const DecodeResult decoded =
+        decode_frame(std::span{rx_scratch_.data(), static_cast<std::size_t>(n)});
+    if (!decoded) {
+      metrics().add(rx_rejected_id_);
+      tracer_.emit({now(), sim::TraceType::kPacketDrop, id(), sim::kNoNode, 0, 0, 0.0,
+                    decode_error_name(decoded.error)});
+      continue;
+    }
+    dispatch(decoded.frame);
+  }
+}
+
+void UdpHost::dispatch(const sim::Frame& frame) {
+  if (frame.tx == id() || frame.is_ack) return;
+  if (frame.rx != id() && frame.rx != sim::kBroadcast) {
+    // Addressed elsewhere: the radio would still demodulate it — that
+    // overhearing is exactly what the watchdog feeds on.
+    for (const PromiscuousListener& listener : promiscuous_) listener(frame);
+    return;
+  }
+  const sim::Packet& packet = frame.packet;
+  tracer_.emit({now(), sim::TraceType::kPacketRx, id(), frame.tx, packet.uid,
+                packet.size_bytes, 0.0, nullptr, packet.uid, packet.parent});
+  LineageScope lineage{*this, packet.uid};
+  for (const InboundFilter& filter : inbound_filters_) {
+    switch (filter(packet, frame.tx)) {
+      case FilterVerdict::kPass:
+        break;
+      case FilterVerdict::kDrop:
+        metrics().add(inbound_dropped_id_);
+        tracer_.emit({now(), sim::TraceType::kPacketDrop, id(), frame.tx, packet.uid,
+                      packet.size_bytes, 0.0, "inbound_filter", packet.uid, packet.parent});
+        return;
+      case FilterVerdict::kConsumed:
+        return;
+    }
+  }
+  const Handler& handler = handlers_.at(static_cast<std::size_t>(packet.port));
+  if (handler) handler(packet, frame.tx);
+}
+
+Time UdpHost::run_until(Time until) {
+  while (!stop_requested()) {
+    clock_.fire_due();
+    drain_socket();
+    const Time t = now();
+    if (t >= until) break;
+    const Time next = std::min(clock_.next_deadline(), until);
+    const double wait_s = next - t;
+    if (wait_s <= 0.0) continue;
+    // Cap the sleep so stop requests and freshly arrived datagrams are
+    // noticed promptly even with a far-out next timer.
+    const int timeout_ms = static_cast<int>(std::min(wait_s * 1000.0, 50.0)) + 1;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    (void)::poll(&pfd, 1, timeout_ms);
+  }
+  return now();
+}
+
+}  // namespace icc::net

@@ -1,0 +1,122 @@
+// UDP deployment mode: one process per node, loopback sockets as the radio.
+//
+// The testnet emulates the simulator's single broadcast domain: every
+// encoded frame is sent to every peer (as a shared-medium radio would), and
+// each receiver then decides — exactly like the simulated MAC — whether the
+// frame is addressed to it (deliver), addressed elsewhere (promiscuous
+// overhear, which is what the watchdog lives on), or its own echo (drop).
+//
+// UdpHost implements the same net::Host / net::Transport surface as the
+// simulator's Node, so the AODV agent, the inner-circle framework, the
+// watchdog, and the sensor stack run on it without modification. Time comes
+// from SteadyClock, identity/lineage uids from a per-origin counter
+// namespace ((id+1) << 40 | n) that never collides across processes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/steady_clock.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace icc::net {
+
+struct UdpConfig {
+  sim::NodeId id{0};
+  std::size_t num_nodes{1};
+  std::uint16_t base_port{47000};  ///< node i binds 127.0.0.1:base_port+i
+  std::uint64_t seed{1};           ///< run seed; RNG forks derive from it
+  std::int64_t epoch_unix_us{0};   ///< shared run epoch for SteadyClock
+  Vec2 position{};                 ///< static position from the scenario spec
+};
+
+class UdpHost final : public Host, public Transport {
+ public:
+  explicit UdpHost(UdpConfig config);
+  ~UdpHost() override;
+  UdpHost(const UdpHost&) = delete;
+  UdpHost& operator=(const UdpHost&) = delete;
+
+  // --- Services ---
+  Stats& stats() noexcept override { return stats_; }
+  MetricsRegistry& metrics() noexcept override { return stats_.registry(); }
+  Tracer& tracer() noexcept override { return tracer_; }
+  [[nodiscard]] Time now() const noexcept override { return clock_.now(); }
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) override { return rng_.fork(salt); }
+  std::uint64_t next_packet_uid() noexcept override { return next_uid_++; }
+  std::uint64_t next_span() noexcept override { return next_uid_++; }
+  [[nodiscard]] std::uint64_t lineage_parent() const noexcept override {
+    return lineage_parent_;
+  }
+  void set_lineage_parent(std::uint64_t span) noexcept override { lineage_parent_ = span; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept override { return config_.num_nodes; }
+
+  // --- Host ---
+  [[nodiscard]] sim::NodeId id() const noexcept override { return config_.id; }
+  [[nodiscard]] Vec2 position() const override { return config_.position; }
+  [[nodiscard]] bool down() const noexcept override { return false; }
+  EnergyMeter& energy() noexcept override { return energy_; }
+  Clock& clock() noexcept override { return clock_; }
+  Transport& transport() noexcept override { return *this; }
+
+  // --- Transport ---
+  void send(sim::Packet packet, sim::NodeId next_hop) override;
+  void send_unfiltered(sim::Packet packet, sim::NodeId next_hop) override;
+  void register_handler(sim::Port port, Handler handler) override;
+  void add_promiscuous_listener(PromiscuousListener listener) override;
+  void add_inbound_filter(InboundFilter filter) override;
+  void add_outbound_filter(OutboundFilter filter) override;
+  void set_send_failed_handler(SendFailedHandler handler) override;
+
+  // --- run loop ---
+  /// Poll sockets and fire timers until the clock passes `until` or
+  /// request_stop() is called. Returns the clock value at exit.
+  Time run_until(Time until);
+  /// Stop the run loop at the next iteration. Safe to call from a signal
+  /// handler (single relaxed atomic store).
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void stamp_lineage(sim::Packet& packet);
+  void broadcast_bytes(const std::vector<std::uint8_t>& bytes);
+  void drain_socket();
+  void dispatch(const sim::Frame& frame);
+
+  UdpConfig config_;
+  SteadyClock clock_;
+  sim::Stats stats_;
+  sim::Tracer tracer_;
+  sim::Rng rng_;
+  EnergyMeter energy_;
+  std::uint64_t next_uid_;
+  std::uint64_t lineage_parent_{0};
+
+  int fd_{-1};
+  std::vector<std::uint8_t> tx_scratch_;
+  std::vector<std::uint8_t> rx_scratch_;
+
+  std::array<Handler, static_cast<std::size_t>(sim::Port::kCount)> handlers_{};
+  std::vector<PromiscuousListener> promiscuous_;
+  std::vector<InboundFilter> inbound_filters_;
+  std::vector<OutboundFilter> outbound_filters_;
+  SendFailedHandler send_failed_;  ///< kept for interface parity; loopback
+                                   ///< UDP reports no per-frame loss
+
+  std::atomic<bool> stop_{false};
+
+  sim::MetricId outbound_dropped_id_;
+  sim::MetricId inbound_dropped_id_;
+  sim::MetricId tx_frames_id_;
+  sim::MetricId rx_frames_id_;
+  sim::MetricId rx_rejected_id_;
+};
+
+}  // namespace icc::net

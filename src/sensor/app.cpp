@@ -16,7 +16,7 @@ SensorApp::SensorApp(sim::Node& node, Diffusion& diffusion, const TargetField& f
       field_{field},
       params_{params},
       icc_{icc},
-      rng_{node.world().fork_rng(kSensorRngSalt + node.id())} {
+      rng_{node.fork_rng(kSensorRngSalt + node.id())} {
   reported_pos_ = node_.position();
   if (params_.fault == FaultType::kPositionError) {
     // "a faulty sensor i has an incorrect estimate of its own position:
@@ -26,8 +26,8 @@ SensorApp::SensorApp(sim::Node& node, Diffusion& diffusion, const TargetField& f
   }
   if (icc_ != nullptr) install_callbacks();
   // Sampling phases are independent across sensors.
-  node_.world().sched().schedule_in(rng_.uniform(0.0, params_.sample_period),
-                                    [this] { sample_tick(); }, sim::EventTag::kSensor);
+  node_.clock().schedule_in(rng_.uniform(0.0, params_.sample_period),
+                                    [this] { sample_tick(); }, net::EventTag::kSensor);
 }
 
 double SensorApp::measure(sim::Time t) {
@@ -39,17 +39,17 @@ double SensorApp::measure(sim::Time t) {
   // identical whether or not a fault (or its schedule) is live.
   const double energy = field_.sample(node_.position(), t, fault, params_.fault_params, rng_);
   if (fault != FaultType::kNone) {
-    fault::report_injected(node_.world(), fault::FaultClass::kSensor, node_.id());
+    fault::report_injected(node_, fault::FaultClass::kSensor, node_.id());
   }
   return energy;
 }
 
 void SensorApp::sample_tick() {
-  const sim::Time t = node_.world().now();
+  const sim::Time t = node_.now();
   const double energy = measure(t);
   latest_ = Reading{t, energy, reported_pos_};
   has_reading_ = true;
-  node_.world().stats().add("sensor.samples");
+  node_.stats().add("sensor.samples");
 
   const bool detected = energy > field_.model().lambda;
   consecutive_ = detected ? consecutive_ + 1 : 0;
@@ -58,21 +58,21 @@ void SensorApp::sample_tick() {
     // Centralized: raw data collection — every sample is shipped to the
     // base station, which runs detection centrally ("the base station
     // collects raw target notifications as they are generated", §5.2).
-    node_.world().stats().add("sensor.notifications");
+    node_.stats().add("sensor.notifications");
     diffusion_.send_to_sink(latest_.serialize());
   } else if (detected && !suppressed()) {
     // Inner-circle: the first unsuppressed detector of the epoch initiates
     // statistical voting over its own reading.
-    node_.world().stats().add("sensor.rounds_initiated");
+    node_.stats().add("sensor.rounds_initiated");
     icc_->initiate(latest_.serialize());
   }
 
-  node_.world().sched().schedule_in(params_.sample_period, [this] { sample_tick(); },
-                                    sim::EventTag::kSensor);
+  node_.clock().schedule_in(params_.sample_period, [this] { sample_tick(); },
+                                    net::EventTag::kSensor);
 }
 
 bool SensorApp::suppressed() const {
-  return node_.world().now() - last_agreed_seen_ < params_.suppression_window;
+  return node_.now() - last_agreed_seen_ < params_.suppression_window;
 }
 
 void SensorApp::install_callbacks() {
@@ -87,9 +87,9 @@ void SensorApp::install_callbacks() {
       -> std::optional<core::Value> {
     const auto center_reading = Reading::deserialize(topic);
     if (!center_reading) return std::nullopt;
-    const sim::Time t = node_.world().now();
+    const sim::Time t = node_.now();
     const double energy = measure(t);
-    node_.world().stats().add("sensor.ondemand_samples");
+    node_.stats().add("sensor.ondemand_samples");
     if (energy <= field_.model().lambda) return std::nullopt;
     return Reading{t, energy, reported_pos_}.serialize();
   };
@@ -110,8 +110,8 @@ void SensorApp::install_callbacks() {
     const FusedNotification fused =
         fuse_readings(field_.model(), readings, params_.fusion, &rejected);
     for (const sim::NodeId id : rejected) {
-      node_.world().stats().add("sensor.readings_rejected");
-      fault::report_detected(node_.world(), fault::FaultClass::kSensor, id);
+      node_.stats().add("sensor.readings_rejected");
+      fault::report_detected(node_, fault::FaultClass::kSensor, id);
     }
     last_fused_dropped_ = std::move(rejected);
     return fused.serialize();
@@ -128,16 +128,16 @@ void SensorApp::install_callbacks() {
   // station; every circle member (center included) mutes its own redundant
   // reporting for the epoch.
   cb.on_agreed = [this](const core::AgreedMsg& msg, bool is_center) {
-    last_agreed_seen_ = node_.world().now();
+    last_agreed_seen_ = node_.now();
     if (is_center) {
       // The agreed notification excludes the readings our fusion rejected:
       // those faults were masked, which is the neutralization the ledger
       // tracks. Only the center reports (its fusion is the accepted one).
       for (const sim::NodeId id : last_fused_dropped_) {
-        fault::report_neutralized(node_.world(), fault::FaultClass::kSensor, id);
+        fault::report_neutralized(node_, fault::FaultClass::kSensor, id);
       }
       last_fused_dropped_.clear();
-      node_.world().stats().add("sensor.notifications");
+      node_.stats().add("sensor.notifications");
       diffusion_.send_to_sink(msg.serialize());
     }
   };

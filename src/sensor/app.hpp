@@ -18,6 +18,7 @@
 #include "core/framework.hpp"
 #include "fault/schedule.hpp"
 #include "sensor/diffusion.hpp"
+#include "sim/node.hpp"
 #include "sensor/field.hpp"
 #include "sensor/fusion_rules.hpp"
 #include "sensor/readings.hpp"

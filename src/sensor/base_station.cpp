@@ -1,11 +1,11 @@
 #include "sensor/base_station.hpp"
 
 #include "core/messages.hpp"
-#include "sim/world.hpp"
+#include "sim/trace.hpp"
 
 namespace icc::sensor {
 
-BaseStation::BaseStation(sim::Node& node, Diffusion& diffusion,
+BaseStation::BaseStation(net::Host& node, Diffusion& diffusion,
                          const crypto::ThresholdScheme* scheme, CentralizedRule rule)
     : node_{node}, scheme_{scheme}, rule_{rule} {
   diffusion.set_sink_handler([this](const NotificationMsg& msg, sim::NodeId) {
@@ -14,7 +14,7 @@ BaseStation::BaseStation(sim::Node& node, Diffusion& diffusion,
 }
 
 void BaseStation::handle_notification(const NotificationMsg& msg) {
-  const sim::Time now = node_.world().now();
+  const sim::Time now = node_.now();
   if (scheme_ == nullptr) {
     // Centralized: a raw sample from one sensor's stream. Run the detection
     // rule here — declare when `debounce` consecutive samples from the same
@@ -51,21 +51,21 @@ void BaseStation::handle_notification(const NotificationMsg& msg) {
                                                           agreed->level, agreed->value);
   if (agreed->sig.level != agreed->level || !scheme_->verify(signed_bytes, agreed->sig)) {
     ++rejected_;
-    node_.world().stats().add("bs.agreed_rejected");
-    node_.world().tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
-                                 agreed->source, agreed->round, 0, 0.0, "rejected_signature"});
+    node_.stats().add("bs.agreed_rejected");
+    node_.tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
+                         agreed->source, agreed->round, 0, 0.0, "rejected_signature"});
     return;
   }
   const auto fused = FusedNotification::deserialize(agreed->value);
   if (!fused || !fused->valid) {
     ++rejected_;
-    node_.world().tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
-                                 agreed->source, agreed->round, 0, 0.0, "rejected_payload"});
+    node_.tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
+                         agreed->source, agreed->round, 0, 0.0, "rejected_payload"});
     return;
   }
-  node_.world().tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
-                               agreed->source, agreed->round, 0,
-                               static_cast<double>(fused->detectors), "accepted"});
+  node_.tracer().emit({now, sim::TraceType::kFusionDecision, node_.id(),
+                       agreed->source, agreed->round, 0,
+                       static_cast<double>(fused->detectors), "accepted"});
   detections_.push_back(
       Detection{now, fused->t, fused->target_pos, fused->detectors, agreed->source});
 }

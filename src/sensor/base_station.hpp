@@ -35,7 +35,7 @@ class BaseStation {
   };
 
   /// `scheme` non-null => inner-circle mode (verify agreed messages).
-  BaseStation(sim::Node& node, Diffusion& diffusion, const crypto::ThresholdScheme* scheme,
+  BaseStation(net::Host& node, Diffusion& diffusion, const crypto::ThresholdScheme* scheme,
               CentralizedRule rule);
 
   [[nodiscard]] const std::vector<Detection>& detections() const noexcept {
@@ -53,7 +53,7 @@ class BaseStation {
     int consecutive{0};
   };
 
-  sim::Node& node_;
+  net::Host& node_;
   const crypto::ThresholdScheme* scheme_;
   CentralizedRule rule_;
   std::vector<Detection> detections_;

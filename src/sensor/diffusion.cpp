@@ -1,6 +1,6 @@
 #include "sensor/diffusion.hpp"
 
-#include "sim/world.hpp"
+#include "sim/trace.hpp"
 
 namespace icc::sensor {
 
@@ -8,25 +8,25 @@ namespace {
 constexpr std::uint64_t kDiffRngSalt = 0xD1FFull;
 }
 
-Diffusion::Diffusion(sim::Node& node, sim::NodeId sink, Params params)
+Diffusion::Diffusion(net::Host& node, sim::NodeId sink, Params params)
     : node_{node},
       sink_{sink},
       params_{params},
-      rng_{node.world().fork_rng(kDiffRngSalt + node.id())} {
-  node_.register_handler(sim::Port::kDiffusion,
-                         [this](const sim::Packet& p, sim::NodeId from) {
-                           handle_packet(p, from);
-                         });
+      rng_{node.fork_rng(kDiffRngSalt + node.id())} {
+  node_.transport().register_handler(sim::Port::kDiffusion,
+                                     [this](const sim::Packet& p, sim::NodeId from) {
+                                       handle_packet(p, from);
+                                     });
   if (node_.id() == sink_) {
-    node_.world().sched().schedule_in(params_.first_interest, [this] { flood_interest(); },
-                                      sim::EventTag::kSensor);
+    node_.clock().schedule_in(params_.first_interest, [this] { flood_interest(); },
+                              net::EventTag::kSensor);
   }
 }
 
 bool Diffusion::has_gradient() const {
   return node_.id() == sink_ ||
          (parent_ != sim::kNoNode &&
-          node_.world().now() - gradient_time_ <= params_.gradient_lifetime);
+          node_.now() - gradient_time_ <= params_.gradient_lifetime);
 }
 
 void Diffusion::flood_interest() {
@@ -41,11 +41,11 @@ void Diffusion::flood_interest() {
   packet.port = sim::Port::kDiffusion;
   packet.size_bytes = InterestMsg::kWireSize;
   packet.body = std::move(interest);
-  node_.link_send(std::move(packet), sim::kBroadcast);
-  node_.world().stats().add("diff.interests_sent");
+  node_.transport().send(std::move(packet), sim::kBroadcast);
+  node_.stats().add("diff.interests_sent");
 
-  node_.world().sched().schedule_in(params_.interest_period, [this] { flood_interest(); },
-                                    sim::EventTag::kSensor);
+  node_.clock().schedule_in(params_.interest_period, [this] { flood_interest(); },
+                            net::EventTag::kSensor);
 }
 
 void Diffusion::handle_packet(const sim::Packet& packet, sim::NodeId from) {
@@ -57,7 +57,7 @@ void Diffusion::handle_packet(const sim::Packet& packet, sim::NodeId from) {
     best_seq_ = interest->seq;
     best_hops_ = interest->hops + 1;
     parent_ = from;
-    gradient_time_ = node_.world().now();
+    gradient_time_ = node_.now();
 
     auto fwd = std::make_shared<InterestMsg>(*interest);
     fwd->hops += 1;
@@ -68,14 +68,14 @@ void Diffusion::handle_packet(const sim::Packet& packet, sim::NodeId from) {
     p.size_bytes = InterestMsg::kWireSize;
     p.body = std::move(fwd);
     // Jitter the re-flood so neighboring rebroadcasts do not collide.
-    node_.world().sched().schedule_in(rng_.uniform(0.0, 0.02), [this, p = std::move(p)] {
-      node_.link_send(sim::Packet{p}, sim::kBroadcast);
-    }, sim::EventTag::kSensor);
+    node_.clock().schedule_in(rng_.uniform(0.0, 0.02), [this, p = std::move(p)] {
+      node_.transport().send(sim::Packet{p}, sim::kBroadcast);
+    }, net::EventTag::kSensor);
     return;
   }
   if (const auto* notification = packet.body_as<NotificationMsg>()) {
     if (node_.id() == sink_) {
-      node_.world().stats().add("diff.notifications_delivered");
+      node_.stats().add("diff.notifications_delivered");
       if (sink_handler_) sink_handler_(*notification, from);
     } else {
       forward(*notification);
@@ -88,15 +88,15 @@ void Diffusion::send_to_sink(std::vector<std::uint8_t> data) {
   msg->origin = node_.id();
   msg->uid = next_uid_++;
   msg->data = std::move(data);
-  node_.world().stats().add("diff.notifications_sent");
+  node_.stats().add("diff.notifications_sent");
   forward(*msg);
 }
 
 void Diffusion::forward(const NotificationMsg& msg) {
   if (!has_gradient()) {
-    node_.world().stats().add("diff.no_gradient_drop");
-    node_.world().tracer().emit({node_.world().now(), sim::TraceType::kPacketDrop, node_.id(),
-                                 sink_, msg.uid, 0, 0.0, "no_gradient"});
+    node_.stats().add("diff.no_gradient_drop");
+    node_.tracer().emit({node_.now(), sim::TraceType::kPacketDrop, node_.id(),
+                         sink_, msg.uid, 0, 0.0, "no_gradient"});
     return;
   }
   auto body = std::make_shared<NotificationMsg>(msg);
@@ -106,7 +106,7 @@ void Diffusion::forward(const NotificationMsg& msg) {
   packet.port = sim::Port::kDiffusion;
   packet.size_bytes = body->wire_size();
   packet.body = std::move(body);
-  node_.link_send(std::move(packet), parent_);
+  node_.transport().send(std::move(packet), parent_);
 }
 
 }  // namespace icc::sensor

@@ -11,7 +11,8 @@
 #include <functional>
 #include <vector>
 
-#include "sim/node.hpp"
+#include "net/host.hpp"
+#include "sim/packet.hpp"
 #include "sim/rng.hpp"
 
 namespace icc::sensor {
@@ -51,7 +52,7 @@ class Diffusion {
   /// Sink-side handler for arrived notifications.
   using SinkHandler = std::function<void(const NotificationMsg&, sim::NodeId from)>;
 
-  Diffusion(sim::Node& node, sim::NodeId sink, Params params);
+  Diffusion(net::Host& node, sim::NodeId sink, Params params);
 
   /// Send opaque `data` towards the sink.
   void send_to_sink(std::vector<std::uint8_t> data);
@@ -66,7 +67,7 @@ class Diffusion {
   void handle_packet(const sim::Packet& packet, sim::NodeId from);
   void forward(const NotificationMsg& msg);
 
-  sim::Node& node_;
+  net::Host& node_;
   sim::NodeId sink_;
   Params params_;
   sim::Rng rng_;

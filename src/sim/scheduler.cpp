@@ -6,20 +6,6 @@
 
 namespace icc::sim {
 
-const char* event_tag_name(EventTag tag) noexcept {
-  switch (tag) {
-    case EventTag::kGeneric: return "generic";
-    case EventTag::kMac: return "mac";
-    case EventTag::kMobility: return "mobility";
-    case EventTag::kTraffic: return "traffic";
-    case EventTag::kRouting: return "routing";
-    case EventTag::kVoting: return "voting";
-    case EventTag::kSensor: return "sensor";
-    case EventTag::kCount: break;
-  }
-  return "?";
-}
-
 Scheduler::EventId Scheduler::schedule_at(Time t, std::function<void()> fn, EventTag tag) {
   ICC_ASSERT(fn != nullptr, "scheduled events must carry a callable");
   ICC_ASSERT(!std::isnan(t), "event times must not be NaN");

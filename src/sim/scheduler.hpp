@@ -18,27 +18,18 @@
 #include <queue>
 #include <vector>
 
+#include "net/clock.hpp"
 #include "sim/check.hpp"
 #include "sim/types.hpp"
 
 namespace icc::sim {
 
-/// Coarse category an event belongs to, for the wall-clock profiler. Call
-/// sites that don't care use the default.
-enum class EventTag : std::uint8_t {
-  kGeneric = 0,
-  kMac,       ///< CSMA backoff/ack timers, frame completions
-  kMobility,  ///< waypoint leg changes
-  kTraffic,   ///< CBR application sends
-  kRouting,   ///< AODV timers and jittered re-floods
-  kVoting,    ///< inner-circle STS/IVS timers
-  kSensor,    ///< sensing epochs and diffusion timers
-  kCount
-};
-
-inline constexpr std::size_t kNumEventTags = static_cast<std::size_t>(EventTag::kCount);
-
-[[nodiscard]] const char* event_tag_name(EventTag tag) noexcept;
+// The event-tag vocabulary lives with the Clock interface (net/clock.hpp)
+// so both scheduling implementations share it; these aliases keep the
+// simulator's historical spellings working.
+using EventTag = net::EventTag;
+inline constexpr std::size_t kNumEventTags = net::kNumEventTags;
+using net::event_tag_name;
 
 /// Wall-clock cost of a run, split by event category.
 struct SchedulerProfile {
@@ -61,31 +52,28 @@ struct SchedulerProfile {
   }
 };
 
-class Scheduler {
+class Scheduler final : public net::Clock {
  public:
-  using EventId = std::uint64_t;
-  static constexpr EventId kNoEvent = 0;
+  /// Historical names for the Clock timer-handle vocabulary.
+  using EventId = net::TimerId;
+  static constexpr EventId kNoEvent = net::kNoTimer;
 
   /// Current simulated time.
-  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (>= now).
-  EventId schedule_at(Time t, std::function<void()> fn, EventTag tag = EventTag::kGeneric);
-
-  /// Schedule `fn` to run `dt` seconds from now.
-  EventId schedule_in(Time dt, std::function<void()> fn, EventTag tag = EventTag::kGeneric) {
-    return schedule_at(now_ + dt, std::move(fn), tag);
-  }
+  EventId schedule_at(Time t, std::function<void()> fn,
+                      EventTag tag = EventTag::kGeneric) override;
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// harmless no-op, which keeps timer bookkeeping in protocol code simple.
-  void cancel(EventId id) {
+  void cancel(EventId id) override {
     Slot* slot = live_slot(id);
     if (slot != nullptr) release(*slot, static_cast<std::uint32_t>(id & 0xffffffffu));
   }
 
   /// Whether an event is still pending.
-  [[nodiscard]] bool pending(EventId id) const { return live_slot(id) != nullptr; }
+  [[nodiscard]] bool pending(EventId id) const override { return live_slot(id) != nullptr; }
 
   /// Fault-injection hook (slow/stuck timers): maps the delay of every
   /// newly scheduled event to a possibly stretched one, given the current

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/host.hpp"
 #include "sim/energy.hpp"
 #include "sim/grid.hpp"
 #include "sim/mac.hpp"
@@ -37,7 +38,7 @@ struct WorldConfig {
   bool spatial_grid{true};
 };
 
-class World {
+class World final : public net::Services {
  public:
   explicit World(WorldConfig config);
 
@@ -50,43 +51,58 @@ class World {
 
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] const Node& node(NodeId id) const { return *nodes_.at(id); }
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept override { return nodes_.size(); }
 
   Scheduler& sched() noexcept { return sched_; }
   Medium& medium() noexcept { return medium_; }
-  Stats& stats() noexcept { return stats_; }
+  Stats& stats() noexcept override { return stats_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// Interned-id registry backing stats(); hot paths update through this.
-  MetricsRegistry& metrics() noexcept { return stats_.registry(); }
+  MetricsRegistry& metrics() noexcept override { return stats_.registry(); }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return stats_.registry(); }
   /// Structured event tracing (configured from ICC_TRACE at construction).
-  Tracer& tracer() noexcept { return tracer_; }
+  Tracer& tracer() noexcept override { return tracer_; }
   [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
   [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
 
-  [[nodiscard]] Time now() const noexcept { return sched_.now(); }
+  [[nodiscard]] Time now() const noexcept override { return sched_.now(); }
   void run_until(Time end) { sched_.run_until(end); }
 
   /// Independent RNG stream; `salt` should identify the consumer.
-  Rng fork_rng(std::uint64_t salt) { return rng_.fork(salt); }
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) override { return rng_.fork(salt); }
   Rng& rng() noexcept { return rng_; }
 
-  std::uint64_t next_packet_uid() noexcept { return next_uid_++; }
+  std::uint64_t next_packet_uid() noexcept override { return next_uid_++; }
 
   /// Lineage span ids share the packet-uid namespace (a packet's span IS its
   /// uid), so non-packet causes — watchdog accusations, voting rounds, fault
   /// injections — get ids that never collide with packet uids. Spans are
   /// burned unconditionally (never gated on tracing being enabled) so the id
   /// stream is identical whether or not anyone is watching.
-  std::uint64_t next_span() noexcept { return next_uid_++; }
+  std::uint64_t next_span() noexcept override { return next_uid_++; }
 
   /// The span of the event being causally processed right now — the uid of
   /// the packet whose reception is being handled (set by Node::
   /// frame_received), or a cause explicitly scoped by protocol code
   /// (LineageScope). Packets originated inside the scope inherit it as
   /// their parent automatically. 0 = no known cause (timer-driven work).
-  [[nodiscard]] std::uint64_t lineage_parent() const noexcept { return lineage_parent_; }
-  void set_lineage_parent(std::uint64_t span) noexcept { lineage_parent_ = span; }
+  [[nodiscard]] std::uint64_t lineage_parent() const noexcept override {
+    return lineage_parent_;
+  }
+  void set_lineage_parent(std::uint64_t span) noexcept override { lineage_parent_ = span; }
+
+  /// Optional hook applied to every packet as it enters the link layer
+  /// (Node::link_send_unfiltered, after lineage stamping, before the MAC).
+  /// Used by net::attach_sim_codec to round-trip every transmitted packet
+  /// through the wire codec, proving sim/wire parity; unset (the default)
+  /// costs one branch per send. The hook must be deterministic and must
+  /// return a packet equivalent to its input for protocol behavior to be
+  /// preserved.
+  using PacketTransform = std::function<Packet(Packet&&, NodeId tx, NodeId rx)>;
+  void set_packet_transform(PacketTransform t) { packet_transform_ = std::move(t); }
+  [[nodiscard]] const PacketTransform& packet_transform() const noexcept {
+    return packet_transform_;
+  }
 
   /// Ground-truth one-hop neighbors (within tx_range) of `id` right now, in
   /// ascending NodeId order. Used by tests and by the dealer for oracle
@@ -128,6 +144,7 @@ class World {
   Stats stats_;
   Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  PacketTransform packet_transform_;
   std::uint64_t next_uid_{1};
   std::uint64_t lineage_parent_{0};
   std::uint64_t position_epoch_{1};
@@ -139,23 +156,9 @@ class World {
   mutable SpatialGrid grid_;
 };
 
-/// RAII lineage context: packets originated while the scope is alive inherit
-/// `span` as their parent (unless protocol code already set one). Used where
-/// causality crosses a scheduling boundary — a buffered data packet
-/// triggering a discovery, a jittered RREQ re-flood, a delayed vote reply.
-class LineageScope {
- public:
-  LineageScope(World& world, std::uint64_t span) noexcept
-      : world_{world}, prev_{world.lineage_parent()} {
-    world.set_lineage_parent(span);
-  }
-  ~LineageScope() { world_.set_lineage_parent(prev_); }
-  LineageScope(const LineageScope&) = delete;
-  LineageScope& operator=(const LineageScope&) = delete;
-
- private:
-  World& world_;
-  std::uint64_t prev_;
-};
+/// RAII lineage context; the implementation lives with the Services
+/// interface (net/host.hpp) so protocol code scopes lineage identically in
+/// the simulator and in deployment mode.
+using LineageScope = net::LineageScope;
 
 }  // namespace icc::sim

@@ -1,41 +1,39 @@
 #include "traffic/cbr.hpp"
 
-#include "sim/world.hpp"
-
 namespace icc::traffic {
 
 CbrConnection::CbrConnection(aodv::Aodv& source, sim::NodeId dest, Params params)
     : source_{source},
       dest_{dest},
       params_{params},
-      m_sent_{source.node().world().metrics().counter_id("cbr.sent")} {
-  source_.node().world().sched().schedule_at(params_.start, [this] { send_next(); },
-                                             sim::EventTag::kTraffic);
+      m_sent_{source.node().metrics().counter_id("cbr.sent")} {
+  source_.node().clock().schedule_at(params_.start, [this] { send_next(); },
+                                     net::EventTag::kTraffic);
 }
 
 void CbrConnection::send_next() {
-  sim::World& world = source_.node().world();
-  if (world.now() >= params_.stop) return;
+  net::Host& host = source_.node();
+  if (host.now() >= params_.stop) return;
 
   aodv::DataMsg data;
-  data.app_uid = world.next_packet_uid();
+  data.app_uid = host.next_packet_uid();
   data.app_bytes = params_.packet_bytes;
-  data.sent_at = world.now();
+  data.sent_at = host.now();
   ++sent_;
-  world.metrics().add(m_sent_);
+  host.metrics().add(m_sent_);
   source_.send_data(dest_, data);
 
-  world.sched().schedule_in(1.0 / params_.rate_pps, [this] { send_next(); },
-                            sim::EventTag::kTraffic);
+  host.clock().schedule_in(1.0 / params_.rate_pps, [this] { send_next(); },
+                           net::EventTag::kTraffic);
 }
 
 void CbrConnection::attach_sink(aodv::Aodv& aodv) {
-  sim::World& world = aodv.node().world();
-  const sim::MetricId received = world.metrics().counter_id("cbr.received");
-  const sim::MetricId latency = world.metrics().series_id("cbr.latency");
-  aodv.set_deliver_handler([&world, received, latency](const aodv::DataMsg& data, sim::NodeId) {
-    world.metrics().add(received);
-    world.metrics().sample(latency, world.now() - data.sent_at);
+  net::Host& host = aodv.node();
+  const sim::MetricId received = host.metrics().counter_id("cbr.received");
+  const sim::MetricId latency = host.metrics().series_id("cbr.latency");
+  aodv.set_deliver_handler([&host, received, latency](const aodv::DataMsg& data, sim::NodeId) {
+    host.metrics().add(received);
+    host.metrics().sample(latency, host.now() - data.sent_at);
   });
 }
 

@@ -1,0 +1,55 @@
+// Strict env-knob parsing: well-formed values parse exactly, malformed
+// values (the classic 1O-for-10 typo) abort with a message naming the
+// variable instead of silently truncating to a numeric prefix.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exp/env.hpp"
+
+namespace icc::exp {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("ICC_ENV_TEST"); }
+};
+
+TEST_F(EnvTest, UnsetAndEmptyFallBack) {
+  ::unsetenv("ICC_ENV_TEST");
+  EXPECT_EQ(env_int("ICC_ENV_TEST", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("ICC_ENV_TEST", 2.5), 2.5);
+  EXPECT_EQ(env_string("ICC_ENV_TEST", "x"), "x");
+  ::setenv("ICC_ENV_TEST", "", 1);
+  EXPECT_EQ(env_int("ICC_ENV_TEST", 7), 7);
+}
+
+TEST_F(EnvTest, WellFormedValuesParse) {
+  ::setenv("ICC_ENV_TEST", "42", 1);
+  EXPECT_EQ(env_int("ICC_ENV_TEST", 0), 42);
+  ::setenv("ICC_ENV_TEST", "-3", 1);
+  EXPECT_EQ(env_int("ICC_ENV_TEST", 0), -3);
+  ::setenv("ICC_ENV_TEST", "2.5e2", 1);
+  EXPECT_DOUBLE_EQ(env_double("ICC_ENV_TEST", 0.0), 250.0);
+}
+
+TEST_F(EnvTest, MalformedIntegerAborts) {
+  ::setenv("ICC_ENV_TEST", "1O", 1);  // letter O, the classic typo
+  EXPECT_DEATH((void)env_int("ICC_ENV_TEST", 1),
+               "ICC_ENV_TEST='1O' is not a valid integer");
+}
+
+TEST_F(EnvTest, TrailingGarbageAborts) {
+  ::setenv("ICC_ENV_TEST", "10 ", 1);
+  EXPECT_DEATH((void)env_int("ICC_ENV_TEST", 1), "not a valid integer");
+  ::setenv("ICC_ENV_TEST", "3OO.0", 1);
+  EXPECT_DEATH((void)env_double("ICC_ENV_TEST", 1.0), "not a valid number");
+}
+
+TEST_F(EnvTest, OutOfRangeAborts) {
+  ::setenv("ICC_ENV_TEST", "99999999999999999999", 1);
+  EXPECT_DEATH((void)env_int("ICC_ENV_TEST", 1), "not a valid integer");
+}
+
+}  // namespace
+}  // namespace icc::exp

@@ -1,0 +1,274 @@
+// icnode: one inner-circle node as a standalone process.
+//
+// Runs the same protocol objects the simulator runs — AODV (or the
+// black-hole MisbehaviorAodv), the inner-circle framework with its STS/IVS
+// services, the AODV guard, optionally the watchdog baseline, and CBR
+// traffic — on a net::UdpHost: loopback UDP datagrams as the radio,
+// SteadyClock as time. tools/testnet launches N of these to form a network.
+//
+// Every process derives the shared state (crypto substrate, attacker set,
+// CBR flow list) deterministically from the run seed, so no coordination
+// channel is needed beyond the sockets themselves.
+//
+// Configuration, argv first, ICC_NET_* env as fallback:
+//   --id N          (ICC_NET_ID)        this node's id, 0-based     [required]
+//   --num-nodes N   (ICC_NET_NODES)     testnet size                [5]
+//   --base-port P   (ICC_NET_BASE_PORT) node i binds 127.0.0.1:P+i  [47000]
+//   --seed S        (ICC_NET_SEED)      shared run seed             [1]
+//   --epoch-us E    (ICC_NET_EPOCH_US)  shared unix-us run epoch    [now]
+//   --duration S    (ICC_NET_DURATION)  run length, seconds         [10]
+//   --attackers M   (ICC_NET_ATTACKERS) nodes 0..M-1 are black holes [1]
+//   --flows K       (ICC_NET_FLOWS)     CBR flows between correct nodes [2]
+//   --defense D     (ICC_NET_DEFENSE)   icc | watchdog | none       [icc]
+//   --report PATH   (ICC_NET_REPORT)    RunReport JSON path         [stdout]
+//
+// SIGINT/SIGTERM stop the run loop at the next iteration; the RunReport,
+// any trace sinks, and the flight recorder are still flushed, and the
+// process exits 0 — a stopped node is a normal outcome, not a crash.
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aodv/aodv.hpp"
+#include "aodv/guard.hpp"
+#include "aodv/misbehavior.hpp"
+#include "aodv/watchdog.hpp"
+#include "core/framework.hpp"
+#include "crypto/model_scheme.hpp"
+#include "crypto/pki.hpp"
+#include "exp/env.hpp"
+#include "fault/ledger.hpp"
+#include "fault/plan.hpp"
+#include "net/udp.hpp"
+#include "sim/flight.hpp"
+#include "sim/report.hpp"
+#include "traffic/cbr.hpp"
+
+namespace {
+
+icc::net::UdpHost* g_host = nullptr;
+
+void on_signal(int /*sig*/) {
+  // request_stop is one relaxed atomic store: async-signal-safe.
+  if (g_host != nullptr) g_host->request_stop();
+}
+
+std::int64_t unix_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Options {
+  int id{-1};
+  int num_nodes{5};
+  int base_port{47000};
+  long long seed{1};
+  long long epoch_us{0};
+  double duration{10.0};
+  int attackers{1};
+  int flows{2};
+  std::string defense{"icc"};
+  std::string report;
+};
+
+[[noreturn]] void usage_error(const char* msg) {
+  std::fprintf(stderr, "icnode: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: icnode --id N [--num-nodes N] [--base-port P] [--seed S]\n"
+               "              [--epoch-us E] [--duration S] [--attackers M]\n"
+               "              [--flows K] [--defense icc|watchdog|none] [--report PATH]\n");
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  opt.id = icc::exp::env_int("ICC_NET_ID", -1);
+  opt.num_nodes = icc::exp::env_int("ICC_NET_NODES", opt.num_nodes);
+  opt.base_port = icc::exp::env_int("ICC_NET_BASE_PORT", opt.base_port);
+  opt.seed = icc::exp::env_int("ICC_NET_SEED", static_cast<int>(opt.seed));
+  opt.epoch_us = static_cast<long long>(icc::exp::env_double("ICC_NET_EPOCH_US", 0.0));
+  opt.duration = icc::exp::env_double("ICC_NET_DURATION", opt.duration);
+  opt.attackers = icc::exp::env_int("ICC_NET_ATTACKERS", opt.attackers);
+  opt.flows = icc::exp::env_int("ICC_NET_FLOWS", opt.flows);
+  opt.defense = icc::exp::env_string("ICC_NET_DEFENSE", opt.defense.c_str());
+  opt.report = icc::exp::env_string("ICC_NET_REPORT", "");
+
+  const auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage_error("flag needs a value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--id") {
+      opt.id = std::stoi(need_value(i++));
+    } else if (flag == "--num-nodes") {
+      opt.num_nodes = std::stoi(need_value(i++));
+    } else if (flag == "--base-port") {
+      opt.base_port = std::stoi(need_value(i++));
+    } else if (flag == "--seed") {
+      opt.seed = std::stoll(need_value(i++));
+    } else if (flag == "--epoch-us") {
+      opt.epoch_us = std::stoll(need_value(i++));
+    } else if (flag == "--duration") {
+      opt.duration = std::stod(need_value(i++));
+    } else if (flag == "--attackers") {
+      opt.attackers = std::stoi(need_value(i++));
+    } else if (flag == "--flows") {
+      opt.flows = std::stoi(need_value(i++));
+    } else if (flag == "--defense") {
+      opt.defense = need_value(i++);
+    } else if (flag == "--report") {
+      opt.report = need_value(i++);
+    } else {
+      usage_error("unknown flag");
+    }
+  }
+  if (opt.id < 0) usage_error("--id (or ICC_NET_ID) is required");
+  if (opt.id >= opt.num_nodes) usage_error("--id must be < --num-nodes");
+  if (opt.attackers >= opt.num_nodes) usage_error("--attackers must leave correct nodes");
+  if (opt.defense != "icc" && opt.defense != "watchdog" && opt.defense != "none") {
+    usage_error("--defense must be icc, watchdog, or none");
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(opt.seed);
+
+  icc::net::UdpConfig net_config;
+  net_config.id = static_cast<icc::sim::NodeId>(opt.id);
+  net_config.num_nodes = static_cast<std::size_t>(opt.num_nodes);
+  net_config.base_port = static_cast<std::uint16_t>(opt.base_port);
+  net_config.seed = seed;
+  net_config.epoch_unix_us = opt.epoch_us != 0 ? opt.epoch_us : unix_now_us();
+  // Static layout on a circle well inside one radio range — in deployment
+  // mode every datagram reaches every peer anyway, positions only feed the
+  // protocols' bookkeeping.
+  const double angle = 6.283185307179586 * opt.id / opt.num_nodes;
+  net_config.position = {500.0 + 50.0 * std::cos(angle), 500.0 + 50.0 * std::sin(angle)};
+
+  icc::net::UdpHost host{net_config};
+  g_host = &host;
+  host.tracer().configure_from_env();
+  // After configure_from_env: the flight recorder registers a dump-and-die
+  // handler for SIGINT/SIGTERM, which is right for crashing sims but wrong
+  // for a daemon. icnode overrides those two with a graceful stop — the
+  // epilogue still dumps the ring, from a normal context, before exit 0.
+  // (SIGSEGV/SIGBUS keep the flight handler.)
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // Shared crypto substrate: same seeds in every process stand in for the
+  // paper's trusted dealer at network initialization.
+  icc::core::CryptoCostModel cost{};
+  icc::crypto::ModelThresholdScheme scheme{seed, 1, 1024};
+  icc::crypto::ModelPki pki{seed ^ 0x5A5Aull, 1024};
+  icc::crypto::ModelCipher cipher;
+
+  // The attacker set is structural: nodes 0..attackers-1, same plan every
+  // process derives.
+  const icc::fault::FaultPlan plan = icc::fault::black_hole_plan(opt.attackers);
+  const bool malicious = opt.id < opt.attackers;
+
+  std::unique_ptr<icc::aodv::Aodv> agent;
+  if (malicious) {
+    agent = std::make_unique<icc::aodv::MisbehaviorAodv>(
+        host, icc::aodv::Aodv::Params{},
+        plan.protocol.at(static_cast<std::size_t>(opt.id)));
+  } else {
+    agent = std::make_unique<icc::aodv::Aodv>(host, icc::aodv::Aodv::Params{});
+  }
+
+  std::unique_ptr<icc::core::InnerCircleNode> circle;
+  std::unique_ptr<icc::aodv::AodvGuard> guard;
+  std::unique_ptr<icc::aodv::Watchdog> watchdog;
+  if (opt.defense == "icc" && !malicious) {
+    icc::core::InnerCircleConfig icc_config;
+    icc_config.level = 1;
+    icc_config.mode = icc::core::VotingMode::kDeterministic;
+    icc_config.ivs.cost = cost;
+    circle = std::make_unique<icc::core::InnerCircleNode>(host, icc_config, scheme, pki,
+                                                          cipher);
+    guard = std::make_unique<icc::aodv::AodvGuard>(*agent, *circle);
+    circle->start();
+  }
+  if (opt.defense == "watchdog" && !malicious) {
+    watchdog = std::make_unique<icc::aodv::Watchdog>(*agent, icc::aodv::Watchdog::Params{});
+  }
+  icc::traffic::CbrConnection::attach_sink(*agent);
+
+  // CBR flow list between correct nodes, drawn identically in every process
+  // from the shared seed; only the flow's source instantiates it.
+  std::vector<std::unique_ptr<icc::traffic::CbrConnection>> connections;
+  icc::sim::Rng traffic_rng = icc::sim::Rng{seed}.fork(0xCB12ull);
+  const auto pick_correct = [&] {
+    return static_cast<icc::sim::NodeId>(
+        traffic_rng.uniform_int(static_cast<std::uint32_t>(opt.attackers),
+                                static_cast<std::uint32_t>(opt.num_nodes - 1)));
+  };
+  for (int c = 0; c < opt.flows; ++c) {
+    const icc::sim::NodeId src = pick_correct();
+    icc::sim::NodeId dst = pick_correct();
+    while (dst == src) dst = pick_correct();
+    icc::traffic::CbrConnection::Params params;
+    params.start = 3.0 + traffic_rng.uniform(0.0, 1.0);  // let STS authenticate first
+    params.stop = opt.duration;
+    if (src == host.id()) {
+      connections.push_back(
+          std::make_unique<icc::traffic::CbrConnection>(*agent, dst, params));
+    }
+  }
+
+  host.run_until(opt.duration);
+  const bool interrupted = host.stop_requested();
+
+  // Epilogue runs on timeout and on signal alike: the report and the trace
+  // are part of the run's contract either way.
+  icc::sim::RunReport report;
+  report.set_meta("tool", "icnode");
+  report.set_meta("mode", "udp");
+  report.set_meta("node", static_cast<std::uint64_t>(opt.id));
+  report.set_meta("num_nodes", static_cast<std::uint64_t>(opt.num_nodes));
+  report.set_meta("seed", static_cast<std::uint64_t>(seed));
+  report.set_meta("attackers", static_cast<std::uint64_t>(opt.attackers));
+  report.set_meta("defense", opt.defense);
+  report.set_meta("duration_s", opt.duration);
+  report.set_meta("interrupted", interrupted ? std::uint64_t{1} : std::uint64_t{0});
+  report.add_metrics(host.metrics());
+
+  const icc::fault::CoverageLedger ledger{host.metrics()};
+  const auto rows = ledger.rows();
+  for (std::size_t c = 0; c < icc::fault::kNumFaultClasses; ++c) {
+    std::string base = "coverage.";
+    base += icc::fault::fault_class_name(static_cast<icc::fault::FaultClass>(c));
+    report.add_counter(base + ".injected", static_cast<double>(rows[c].injected));
+    report.add_counter(base + ".detected", static_cast<double>(rows[c].detected));
+    report.add_counter(base + ".neutralized", static_cast<double>(rows[c].neutralized));
+    report.add_counter(base + ".escaped", static_cast<double>(rows[c].escaped));
+  }
+  report.add_gauge("coverage.consistent", ledger.consistent() ? 1.0 : 0.0);
+
+  if (opt.report.empty()) {
+    report.write_json(std::cout);
+  } else if (!report.write_file(opt.report)) {
+    std::fprintf(stderr, "icnode: cannot write report to %s\n", opt.report.c_str());
+    return 1;
+  }
+
+  if (interrupted && host.tracer().flight() != nullptr) {
+    host.tracer().flight()->dump("icnode signal shutdown");
+  }
+  // Stream sinks flush when their ostreams are destroyed at scope exit.
+  g_host = nullptr;
+  return 0;
+}

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Launch an N-process icnode testnet on localhost and check the outcome.
+
+Spawns one icnode per node id with a shared seed, epoch, and port range,
+waits for all of them, merges the per-process RunReports into one, and
+asserts the paper's end-to-end story held across process boundaries:
+
+  * every daemon exited 0 (SIGINT'd daemons also exit 0 -- a stopped node
+    is a normal outcome);
+  * CBR traffic flowed (merged cbr.sent > 0 and cbr.received > 0);
+  * the attacker actually attacked (merged blackhole.rrep_sent > 0);
+  * with the inner-circle defense on, at least one forged RREP was
+    suppressed (merged icc.suppressed_raw > 0);
+  * the merged neutralization-coverage ledger is consistent
+    (injected >= detected >= neutralized per fault class).
+
+Per-process ledgers cannot see this: the attacker's process records the
+injection while a correct node's process records the detection, so only
+the merged counters reconstruct the global coverage row.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+
+def find_icnode(build_dir):
+    path = os.path.join(build_dir, "tools", "icnode")
+    if not os.path.exists(path):
+        sys.exit(f"testnet: icnode binary not found at {path} (build it first)")
+    return path
+
+
+def merge_reports(paths):
+    merged = {"counters": {}, "gauges": {}, "meta": {"tool": "testnet"}}
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+        for name, value in report.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0.0) + value
+    return merged
+
+
+def coverage_rows(counters):
+    """Re-derive the coverage ledger from the merged raw fault counters,
+    mirroring fault::CoverageLedger's clamping."""
+    rows = {}
+    for cls in ("channel", "node", "protocol", "sensor"):
+        injected = counters.get(f"fault.{cls}.injected", 0.0)
+        detected = min(counters.get(f"fault.{cls}.detected", 0.0), injected)
+        neutralized = min(counters.get(f"fault.{cls}.neutralized", 0.0), detected)
+        rows[cls] = {
+            "injected": injected,
+            "detected": detected,
+            "neutralized": neutralized,
+            "escaped": injected - detected,
+        }
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--nodes", type=int, default=5)
+    parser.add_argument("--attackers", type=int, default=1)
+    parser.add_argument("--flows", type=int, default=2)
+    parser.add_argument("--duration", type=float, default=8.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--base-port", type=int, default=0,
+                        help="0 = derive from pid to avoid collisions")
+    parser.add_argument("--defense", choices=("icc", "watchdog", "none"), default="icc")
+    parser.add_argument("--out-dir", default="",
+                        help="where per-node and merged reports go "
+                             "(default: a testnet_<pid> temp dir)")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        help="kill daemons after this many seconds "
+                             "(default: duration + 30)")
+    args = parser.parse_args()
+
+    icnode = find_icnode(args.build_dir)
+    base_port = args.base_port or 42000 + (os.getpid() * 17) % 20000
+    out_dir = args.out_dir or os.path.join("/tmp", f"testnet_{os.getpid()}")
+    os.makedirs(out_dir, exist_ok=True)
+    epoch_us = int(time.time() * 1e6)
+    timeout = args.timeout or args.duration + 30.0
+
+    report_paths = []
+    procs = []
+    for node in range(args.nodes):
+        report = os.path.join(out_dir, f"icnode_{node}.json")
+        report_paths.append(report)
+        cmd = [
+            icnode,
+            "--id", str(node),
+            "--num-nodes", str(args.nodes),
+            "--base-port", str(base_port),
+            "--seed", str(args.seed),
+            "--epoch-us", str(epoch_us),
+            "--duration", str(args.duration),
+            "--attackers", str(args.attackers),
+            "--flows", str(args.flows),
+            "--defense", args.defense,
+            "--report", report,
+        ]
+        procs.append(subprocess.Popen(cmd))
+
+    failures = []
+    deadline = time.time() + timeout
+    for node, proc in enumerate(procs):
+        remaining = max(0.1, deadline - time.time())
+        try:
+            rc = proc.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                rc = proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                rc = proc.wait()
+            failures.append(f"node {node} hit the {timeout:.0f}s timeout")
+        if rc != 0:
+            failures.append(f"node {node} exited {rc}")
+
+    if not failures:
+        merged = merge_reports(report_paths)
+        counters = merged["counters"]
+        rows = coverage_rows(counters)
+        merged["coverage"] = rows
+
+        def check(cond, message):
+            if not cond:
+                failures.append(message)
+
+        check(counters.get("cbr.sent", 0) > 0, "no CBR packets sent")
+        check(counters.get("cbr.received", 0) > 0, "no CBR packets delivered")
+        if args.attackers > 0:
+            check(counters.get("blackhole.rrep_sent", 0) > 0,
+                  "attacker sent no forged RREPs")
+            check(rows["protocol"]["injected"] > 0, "no protocol fault recorded")
+        if args.attackers > 0 and args.defense == "icc":
+            check(counters.get("icc.suppressed_raw", 0) > 0,
+                  "inner circle suppressed no raw RREPs")
+            check(rows["protocol"]["detected"] > 0,
+                  "merged ledger shows the attack undetected")
+        for cls, row in rows.items():
+            check(row["injected"] >= row["detected"] >= row["neutralized"],
+                  f"merged coverage row for {cls} is inconsistent: {row}")
+
+        merged_path = os.path.join(out_dir, "merged.json")
+        with open(merged_path, "w", encoding="utf-8") as f:
+            json.dump(merged, f, indent=1, sort_keys=True)
+
+        print(f"testnet: {args.nodes} nodes, {args.duration:.0f}s, "
+              f"defense={args.defense}: "
+              f"sent={counters.get('cbr.sent', 0):.0f} "
+              f"received={counters.get('cbr.received', 0):.0f} "
+              f"forged_rreps={counters.get('blackhole.rrep_sent', 0):.0f} "
+              f"suppressed={counters.get('icc.suppressed_raw', 0):.0f}")
+        print(f"testnet: coverage[protocol] = {rows['protocol']}")
+        print(f"testnet: merged report at {merged_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"testnet: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("testnet: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
