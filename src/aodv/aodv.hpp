@@ -24,6 +24,7 @@
 
 namespace icc::aodv {
 
+// icc:affinity(node)
 class Aodv {
  public:
   struct Params {

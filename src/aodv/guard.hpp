@@ -21,6 +21,7 @@
 
 namespace icc::aodv {
 
+// icc:affinity(node)
 class AodvGuard {
  public:
   AodvGuard(Aodv& aodv, core::InnerCircleNode& icc);

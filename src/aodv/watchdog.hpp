@@ -21,6 +21,7 @@
 
 namespace icc::aodv {
 
+// icc:affinity(node)
 class Watchdog {
  public:
   struct Params {

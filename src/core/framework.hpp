@@ -37,6 +37,7 @@ struct InnerCircleConfig {
   sim::Time suspicion_duration{120.0};
 };
 
+// icc:affinity(node)
 class InnerCircleNode {
  public:
   /// Matches a packet the application wants checked; `next_hop` is the

@@ -15,6 +15,7 @@
 
 namespace icc::core {
 
+// icc:affinity(node)
 class SuspicionsManager {
  public:
   /// Default temporary-suspicion duration ("a few minutes" in the paper).

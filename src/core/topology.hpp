@@ -25,6 +25,7 @@
 
 namespace icc::core {
 
+// icc:affinity(node)
 class SecureTopologyService {
  public:
   struct Params {

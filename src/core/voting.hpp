@@ -32,6 +32,7 @@
 
 namespace icc::core {
 
+// icc:affinity(node)
 class IvsService {
  public:
   struct Params {

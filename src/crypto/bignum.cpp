@@ -66,7 +66,7 @@ Bignum Bignum::from_hex(std::string_view hex) {
 
 std::string Bignum::to_hex() const {
   if (is_zero()) return "0";
-  static const char* kHex = "0123456789abcdef";
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   bool started = false;
   for (int i = n_ - 1; i >= 0; --i) {

@@ -129,7 +129,7 @@ Digest Sha256::hash(std::string_view s) {
 }
 
 std::string to_hex(const Digest& d) {
-  static const char* kHex = "0123456789abcdef";
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(64);
   for (std::uint8_t b : d) {

@@ -24,7 +24,7 @@ namespace icc::exp {
 }
 
 inline int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe): campaign setup reads env before the worker pool starts
   if (v == nullptr || *v == '\0') return fallback;
   errno = 0;
   char* end = nullptr;
@@ -36,7 +36,7 @@ inline int env_int(const char* name, int fallback) {
 }
 
 inline double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe): campaign setup reads env before the worker pool starts
   if (v == nullptr || *v == '\0') return fallback;
   errno = 0;
   char* end = nullptr;
@@ -47,7 +47,7 @@ inline double env_double(const char* name, double fallback) {
 
 /// Returns the variable's value, or `fallback` when unset or empty.
 inline std::string env_string(const char* name, const char* fallback = "") {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe): campaign setup reads env before the worker pool starts
   return v != nullptr && *v != '\0' ? std::string{v} : std::string{fallback};
 }
 

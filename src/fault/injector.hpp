@@ -46,6 +46,7 @@ class World;
 
 namespace icc::fault {
 
+// icc:affinity(world)
 class InjectionEngine {
  public:
   /// Installs hooks for `plan` on `world`. Construct after every node has

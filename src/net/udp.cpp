@@ -31,6 +31,7 @@ constexpr std::size_t kMaxDatagram = 65507;
 // limits), not debug invariants — fail unconditionally, not via ICC_CHECK,
 // which compiles out in Release.
 [[noreturn]] void fatal(const char* msg) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): abort path; nothing races a process that is about to die
   std::fprintf(stderr, "net: fatal: %s (errno: %s)\n", msg, std::strerror(errno));
   std::abort();
 }

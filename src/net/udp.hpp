@@ -35,6 +35,7 @@ struct UdpConfig {
   Vec2 position{};                 ///< static position from the scenario spec
 };
 
+// icc:affinity(node)
 class UdpHost final : public Host, public Transport {
  public:
   explicit UdpHost(UdpConfig config);
@@ -93,6 +94,7 @@ class UdpHost final : public Host, public Transport {
   UdpConfig config_;
   SteadyClock clock_;
   sim::Stats stats_;
+  // icc:sync: owned by value; the daemon runs one host per process with no sim World behind it, so nothing is shared
   sim::Tracer tracer_;
   sim::Rng rng_;
   EnergyMeter energy_;

@@ -25,6 +25,7 @@
 
 namespace icc::sensor {
 
+// icc:affinity(node)
 class SensorApp {
  public:
   struct Params {

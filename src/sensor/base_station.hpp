@@ -14,6 +14,7 @@
 
 namespace icc::sensor {
 
+// icc:affinity(node)
 class BaseStation {
  public:
   struct Detection {

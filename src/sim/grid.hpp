@@ -35,6 +35,7 @@ namespace icc::sim {
 
 class World;
 
+// icc:affinity(world)
 class SpatialGrid {
  public:
   /// `cell_size` is the bin side in meters; `slack` is the movement budget a

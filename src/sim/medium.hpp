@@ -27,6 +27,7 @@ class World;
 /// of the reception).
 enum class DeliveryVerdict : std::uint8_t { kDeliver, kDrop, kCorrupt };
 
+// icc:affinity(world)
 class Medium {
  public:
   Medium(World& world, double tx_range, double cs_range)

@@ -104,6 +104,7 @@ class Histogram {
 /// through it are a single vector index — no hashing, no allocation.
 using MetricId = std::uint32_t;
 
+// icc:affinity(world)
 class MetricsRegistry {
  public:
   // ----------------------------------------------------- interning (cold)

@@ -17,6 +17,7 @@ namespace icc::sim {
 class Scheduler;
 
 /// Interface queried by the radio medium whenever a position is needed.
+// icc:affinity(node)
 class Mobility {
  public:
   virtual ~Mobility() = default;
@@ -38,6 +39,7 @@ class Mobility {
 };
 
 /// A node that never moves (sensor study).
+// icc:affinity(node)
 class StaticMobility final : public Mobility {
  public:
   explicit StaticMobility(Vec2 pos) : pos_{pos} {}
@@ -49,6 +51,7 @@ class StaticMobility final : public Mobility {
 
 /// Random waypoint: pick a uniform destination in the area, travel at a
 /// uniform-random speed in [min_speed, max_speed], pause, repeat.
+// icc:affinity(node)
 class RandomWaypoint final : public Mobility {
  public:
   struct Params {

@@ -28,6 +28,7 @@ class World;
 /// the UDP deployment transport share it.
 using FilterVerdict = net::FilterVerdict;
 
+// icc:affinity(node)
 class Node final : public net::Host, public net::Transport {
  public:
   /// Handler for packets delivered to a port: (packet, link-level sender).
@@ -113,6 +114,7 @@ class Node final : public net::Host, public net::Transport {
   /// packet's parent (idempotent; see Packet::parent).
   void stamp_lineage(Packet& packet);
 
+  // icc:sync: reached only for net::Host services (clock, medium, trace, rng); the parallel-DES cell executive will own this handle
   World& world_;
   NodeId id_;
   std::unique_ptr<Mobility> mobility_;

@@ -52,6 +52,7 @@ struct SchedulerProfile {
   }
 };
 
+// icc:affinity(world)
 class Scheduler final : public net::Clock {
  public:
   /// Historical names for the Clock timer-handle vocabulary.

@@ -222,11 +222,11 @@ std::uint32_t Tracer::parse_mask(const char* spec) {
 
 void Tracer::configure_from_env() {
   // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
-  const std::uint32_t mask = parse_mask(std::getenv("ICC_TRACE"));
+  const std::uint32_t mask = parse_mask(std::getenv("ICC_TRACE"));  // NOLINT(concurrency-mt-unsafe): single-threaded trace setup before any worker exists
   if (mask != 0) {
     mask_ |= mask;
     // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
-    const char* path = std::getenv("ICC_TRACE_FILE");
+    const char* path = std::getenv("ICC_TRACE_FILE");  // NOLINT(concurrency-mt-unsafe): single-threaded trace setup before any worker exists
     if (path != nullptr && *path != '\0') {
       std::ostream& out = shared_file_stream(path);
       const std::string_view p{path};
@@ -240,7 +240,7 @@ void Tracer::configure_from_env() {
     }
   }
   // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
-  const char* perfetto = std::getenv("ICC_TRACE_PERFETTO");
+  const char* perfetto = std::getenv("ICC_TRACE_PERFETTO");  // NOLINT(concurrency-mt-unsafe): single-threaded trace setup before any worker exists
   if (perfetto != nullptr && *perfetto != '\0') {
     // The export wants the whole picture: enable every category.
     mask_ = (1u << static_cast<unsigned>(TraceCategory::kCount)) - 1u;
@@ -250,17 +250,17 @@ void Tracer::configure_from_env() {
     add_owned_sink(std::make_unique<PerfettoTraceSink>(out));
   }
   // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
-  const char* flight = std::getenv("ICC_FLIGHT");
+  const char* flight = std::getenv("ICC_FLIGHT");  // NOLINT(concurrency-mt-unsafe): single-threaded trace setup before any worker exists
   if (flight != nullptr && *flight != '\0' && std::strcmp(flight, "0") != 0) {
     std::size_t capacity = kDefaultFlightRecords;
     // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
-    if (const char* records = std::getenv("ICC_FLIGHT_RECORDS");
+    if (const char* records = std::getenv("ICC_FLIGHT_RECORDS");  // NOLINT(concurrency-mt-unsafe): single-threaded trace setup before any worker exists
         records != nullptr && *records != '\0') {
       const unsigned long long parsed = std::strtoull(records, nullptr, 10);
       if (parsed > 0) capacity = static_cast<std::size_t>(parsed);
     }
     // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); tracing config only
-    const char* dump = std::getenv("ICC_FLIGHT_DUMP");
+    const char* dump = std::getenv("ICC_FLIGHT_DUMP");  // NOLINT(concurrency-mt-unsafe): single-threaded trace setup before any worker exists
     enable_flight(capacity, dump != nullptr && *dump != '\0' ? dump : "icc_flight");
   }
 }

@@ -169,6 +169,7 @@ class CollectingTraceSink final : public TraceSink {
 
 class FlightRecorder;
 
+// icc:affinity(world)
 class Tracer {
  public:
   Tracer();

@@ -26,16 +26,16 @@ World::World(WorldConfig config)
                 std::max(config.tx_range, config.tx_range * config.cs_range_factor)} {
   tracer_.configure_from_env();
   // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); profiling toggle only
-  const char* profile = std::getenv("ICC_PROFILE");
+  const char* profile = std::getenv("ICC_PROFILE");  // NOLINT(concurrency-mt-unsafe): single-threaded world construction
   if (profile != nullptr && *profile != '\0' && std::strcmp(profile, "0") != 0) {
     sched_.enable_profiling(true);
   }
   // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); health sampling knob
-  const char* health = std::getenv("ICC_TRACE_HEALTH");
+  const char* health = std::getenv("ICC_TRACE_HEALTH");  // NOLINT(concurrency-mt-unsafe): single-threaded world construction
   if (health != nullptr && *health != '\0') {
     health_interval_ = std::strtod(health, nullptr);
     // detlint:allow(raw-getenv): sim cannot depend on exp/env.hpp (layering); health sampling knob
-    const char* per_node = std::getenv("ICC_TRACE_HEALTH_NODES");
+    const char* per_node = std::getenv("ICC_TRACE_HEALTH_NODES");  // NOLINT(concurrency-mt-unsafe): single-threaded world construction
     health_per_node_ =
         per_node != nullptr && *per_node != '\0' && std::strcmp(per_node, "0") != 0;
     // Arm only when someone is listening: a self-rescheduling sampler would

@@ -38,6 +38,7 @@ struct WorldConfig {
   bool spatial_grid{true};
 };
 
+// icc:affinity(world)
 class World final : public net::Services {
  public:
   explicit World(WorldConfig config);

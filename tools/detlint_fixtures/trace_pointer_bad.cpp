@@ -14,3 +14,8 @@ std::uint64_t bad_reinterpret(const Event* e) {
 std::uint64_t bad_c_cast(const Event* e) { return (uintptr_t)e; }
 
 void bad_format(const Event* e) { std::printf("event at %p\n", (const void*)e); }
+
+std::uint64_t bad_multiline(const Event* e) {
+  return reinterpret_cast<
+      std::uintptr_t>(e);  // split across lines; the token matcher still sees it
+}

@@ -1,0 +1,15 @@
+// Scoping fixture: this file declares peers_ as an unordered container and
+// iterates it, so it must trip unordered-iter.
+#include <unordered_set>
+
+class Gossip {
+ public:
+  int count() const {
+    int n = 0;
+    for (int peer : peers_) n += peer;
+    return n;
+  }
+
+ private:
+  std::unordered_set<int> peers_;
+};

@@ -1,0 +1,16 @@
+// Scoping fixture: peers_ here is an ordered std::set, and this file does
+// not include decl_unordered.cpp's class.  Under the old global name set it
+// still fired; with include-closure scoping it must stay clean.
+#include <set>
+
+class Roster {
+ public:
+  int count() const {
+    int n = 0;
+    for (int peer : peers_) n += peer;
+    return n;
+  }
+
+ private:
+  std::set<int> peers_;
+};

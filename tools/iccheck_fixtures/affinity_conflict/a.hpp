@@ -1,0 +1,11 @@
+#pragma once
+
+// icc:affinity(world)
+struct World {
+    int ticks;
+};
+
+// icc:affinity(node)
+struct Node {
+    World& w;
+};

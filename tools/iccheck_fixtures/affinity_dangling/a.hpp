@@ -1,0 +1,4 @@
+#pragma once
+
+// icc:affinity(world)
+const int not_a_class = 1;

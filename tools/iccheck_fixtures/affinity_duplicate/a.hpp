@@ -1,0 +1,6 @@
+#pragma once
+
+// icc:affinity(world)
+struct Twin {
+    int a;
+};

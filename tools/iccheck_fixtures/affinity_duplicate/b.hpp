@@ -1,0 +1,6 @@
+#pragma once
+
+// icc:affinity(node)
+struct Twin {
+    int b;
+};

@@ -1,0 +1,6 @@
+#pragma once
+
+// icc:affinity(galaxy)
+struct Thing {
+    int x;
+};

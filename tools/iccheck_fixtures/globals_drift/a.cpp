@@ -1,0 +1,2 @@
+int waived_counter = 0;  // icc:allow(global-mutable): waived but unregistered
+int registered_counter = 0;

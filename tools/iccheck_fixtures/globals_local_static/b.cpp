@@ -1,0 +1,6 @@
+int bump() {
+    static int calls = 0;
+    static const int base = 7;
+    calls = calls + base;
+    return calls;
+}

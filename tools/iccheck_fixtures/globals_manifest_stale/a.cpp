@@ -1,0 +1,1 @@
+const int k = 1;

@@ -1,0 +1,5 @@
+int counter = 0;
+const char* name = "x";
+const int limit = 5;
+constexpr int kMax = 2;
+char* const cname = nullptr;

@@ -1,0 +1,1 @@
+int counter = 0;

@@ -1,0 +1,8 @@
+struct Registry {
+    int n;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}

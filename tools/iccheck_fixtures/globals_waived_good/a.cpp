@@ -1,0 +1,1 @@
+int counter = 0;  // icc:allow(global-mutable): fixture waiver with a reason

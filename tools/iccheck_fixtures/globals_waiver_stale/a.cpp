@@ -1,0 +1,1 @@
+const int k = 1;  // icc:allow(global-mutable): nothing here to suppress

@@ -1,0 +1,3 @@
+#pragma once
+#include "sim/base.hpp"
+#include "net/b.hpp"

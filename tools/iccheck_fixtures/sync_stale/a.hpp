@@ -1,0 +1,5 @@
+#pragma once
+
+struct Plain {
+    int x;  // icc:sync: there is no affinity conflict here
+};
