@@ -34,6 +34,7 @@ namespace {
 struct PlanOutcome {
   bool consistent{true};
   std::array<icc::fault::CoverageRow, icc::fault::kNumFaultClasses> coverage{};
+  std::array<std::uint64_t, icc::fault::kNumAttackKinds> kind_injected{};
 };
 
 PlanOutcome run_one(std::uint64_t plan_seed, int nodes, double sim_time) {
@@ -51,8 +52,12 @@ PlanOutcome run_one(std::uint64_t plan_seed, int nodes, double sim_time) {
   config.traffic_start = 1.0;
   config.plan = plan;
   // Rotate through the defense configurations deterministically so the soak
-  // exercises the undefended, watchdog, and inner-circle ledger paths.
-  switch (plan_seed % 3) {
+  // exercises the undefended, watchdog, inner-circle, and hardened
+  // inner-circle (AODVSEC + geo leash) ledger paths. The choice goes through
+  // SplitMix64 on a dedicated salt — not plan_seed % N — so widening the
+  // rotation re-deals only which defense a plan gets; the plan itself (and
+  // every other seed-derived parameter) stays fixed.
+  switch (icc::exp::splitmix64(plan_seed ^ 0xDEFE25Eull) % 4) {
     case 1:
       config.watchdog = true;
       break;
@@ -60,13 +65,19 @@ PlanOutcome run_one(std::uint64_t plan_seed, int nodes, double sim_time) {
       config.inner_circle = true;
       config.level = 1;
       break;
+    case 3:
+      config.inner_circle = true;
+      config.level = 2;
+      config.aodvsec = true;
+      config.geo_leash = true;
+      break;
     default:
       break;
   }
   config.seed = icc::exp::splitmix64(plan_seed ^ 0xC0FFEEull);
 
   const icc::aodv::BlackholeExperimentResult r = icc::aodv::run_blackhole_experiment(config);
-  PlanOutcome outcome{r.coverage_consistent, r.coverage};
+  PlanOutcome outcome{r.coverage_consistent, r.coverage, r.attack_kind_injected};
 
   // Sensor specs have no consumer in the AODV scenario, so plans that carry
   // them also drive a small fusion world — that exercises the sensor
@@ -121,6 +132,7 @@ int main() {
               seeds.size(), nodes, sim_time);
 
   icc::fault::CoverageRow totals[icc::fault::kNumFaultClasses];
+  std::array<std::uint64_t, icc::fault::kNumAttackKinds> kind_totals{};
   std::vector<std::uint64_t> failing;
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     const std::uint64_t seed = seeds[i];
@@ -141,6 +153,9 @@ int main() {
       totals[c].neutralized += outcome.coverage[c].neutralized;
       totals[c].escaped += outcome.coverage[c].escaped;
     }
+    for (std::size_t k = 0; k < icc::fault::kNumAttackKinds; ++k) {
+      kind_totals[k] += outcome.kind_injected[k];
+    }
     if (!outcome.consistent) {
       failing.push_back(seed);
       std::fprintf(stderr, "chaos plan seed=%llu: coverage ledger INCONSISTENT\n",
@@ -158,6 +173,14 @@ int main() {
                 static_cast<unsigned long long>(totals[c].detected),
                 static_cast<unsigned long long>(totals[c].neutralized),
                 static_cast<unsigned long long>(totals[c].escaped));
+  }
+
+  std::printf("\ninjected actions by attack kind (zoo kinds book per-kind counters):\n");
+  for (std::size_t k = 0; k < icc::fault::kNumAttackKinds; ++k) {
+    const auto kind = static_cast<icc::fault::AttackKind>(k);
+    if (!icc::fault::attack_kind_booked(kind)) continue;
+    std::printf("%-20s %12llu\n", icc::fault::attack_kind_name(kind),
+                static_cast<unsigned long long>(kind_totals[k]));
   }
 
   // Aggregate ledger as a RunReport, same gauge names CoverageLedger uses
@@ -178,6 +201,13 @@ int main() {
       report.add_gauge(base + "detected", static_cast<double>(totals[c].detected));
       report.add_gauge(base + "neutralized", static_cast<double>(totals[c].neutralized));
       report.add_gauge(base + "escaped", static_cast<double>(totals[c].escaped));
+    }
+    for (std::size_t k = 0; k < icc::fault::kNumAttackKinds; ++k) {
+      const auto kind = static_cast<icc::fault::AttackKind>(k);
+      if (!icc::fault::attack_kind_booked(kind)) continue;
+      report.add_gauge(std::string("fault.kind.") + icc::fault::attack_kind_name(kind) +
+                           ".injected",
+                       static_cast<double>(kind_totals[k]));
     }
     if (!report.write_file(json_path)) {
       std::fprintf(stderr, "failed to write report to %s\n", json_path.c_str());

@@ -58,6 +58,12 @@ sim::NodeId Aodv::next_hop_to(sim::NodeId dest) const {
   return it->second.next_hop;
 }
 
+std::optional<std::uint32_t> Aodv::known_dest_seq(sim::NodeId dest) const {
+  const auto it = routes_.find(dest);
+  if (it == routes_.end() || !it->second.seq_known) return std::nullopt;
+  return it->second.dest_seq;
+}
+
 void Aodv::invalidate_routes_via(sim::NodeId via) {
   for (auto& [dest, entry] : routes_) {
     if (entry.valid && entry.next_hop == via) entry.valid = false;
@@ -412,8 +418,13 @@ void Aodv::on_link_failure(const sim::Packet& packet, sim::NodeId next_hop) {
   net::LineageScope lineage{node_, packet.uid};
   // The exhausted MAC retry is how a crashed/out-of-range next hop shows up
   // to routing — report it as a detected node fault (innocent mobility also
-  // trips this; the ledger's capped rows absorb the over-reporting).
-  fault::report_detected(node_, fault::FaultClass::kNode, next_hop, 0, packet.uid);
+  // trips this; the ledger's capped rows absorb the over-reporting). A hop
+  // outside the world (the forge_next_hop attacker's ghost) has no per-node
+  // ledger row to book against, so it is skipped here; the guard layer
+  // attributes that attack to the forger instead.
+  if (next_hop < node_.num_nodes()) {
+    fault::report_detected(node_, fault::FaultClass::kNode, next_hop, 0, packet.uid);
+  }
 
   RerrMsg rerr;
   for (auto& [dest, entry] : routes_) {

@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "aodv/messages.hpp"
@@ -64,6 +65,10 @@ class Aodv {
   /// Whether a valid route to `dest` currently exists (tests).
   [[nodiscard]] bool has_route(sim::NodeId dest) const;
   [[nodiscard]] sim::NodeId next_hop_to(sim::NodeId dest) const;
+
+  /// Last sequence number this node has recorded for `dest`, if any —
+  /// the guard's AODVSEC check compares an incoming RREP's claim against it.
+  [[nodiscard]] std::optional<std::uint32_t> known_dest_seq(sim::NodeId dest) const;
 
   /// Invalidate every route whose next hop is `via` (used by the watchdog's
   /// pathrater and available to other link-quality monitors).

@@ -1,6 +1,8 @@
 #include "aodv/blackhole_experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
 
@@ -45,6 +47,12 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
                                           config.gray_off_period)
                         .protocol;
   }
+  // A protocol-only plan never reaches the InjectionEngine's validation, so
+  // check here: every malformed plan dies at setup whatever its shape.
+  if (const std::string err = plan.validate(); !err.empty()) {
+    std::fprintf(stderr, "blackhole_experiment: invalid fault plan: %s\n", err.c_str());
+    std::abort();
+  }
   std::map<sim::NodeId, const fault::ProtocolFault*> attackers;
   for (const fault::ProtocolFault& spec : plan.protocol) attackers.emplace(spec.node, &spec);
 
@@ -84,7 +92,15 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
       icc_config.ivs.cost = config.cost;
       circles.push_back(std::make_unique<core::InnerCircleNode>(node, icc_config, scheme,
                                                                 pki, cipher));
-      guards.push_back(std::make_unique<AodvGuard>(*agents.back(), *circles.back()));
+      SecParams sec;
+      sec.verify = config.aodvsec;
+      sec.suspect_on_reject = config.aodvsec;
+      guards.push_back(std::make_unique<AodvGuard>(*agents.back(), *circles.back(), sec));
+      if (config.aodvsec) {
+        // Three implausible RREPs inside a minute convict; once one forger
+        // falls, its colluders fall at half the threshold.
+        circles.back()->suspicions().set_escalation({3, 60.0, true});
+      }
       circles.back()->start();
     }
     if (config.watchdog && !malicious) {
@@ -115,11 +131,13 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
         std::make_unique<traffic::CbrConnection>(*agents[src], dst, params));
   }
 
-  // Channel and node faults go live last: with neither in the plan the
-  // engine forks no RNG and installs no hooks, so legacy configurations
+  // Channel, node, and wormhole faults go live last: with none in the plan
+  // the engine forks no RNG and installs no hooks, so legacy configurations
   // reproduce their pre-plan numbers bit for bit.
   std::optional<fault::InjectionEngine> engine;
-  if (!plan.channel.empty() || !plan.node.empty()) engine.emplace(world, plan);
+  if (!plan.channel.empty() || !plan.node.empty() || !plan.wormhole.empty()) {
+    engine.emplace(world, plan, fault::InjectionOptions{config.geo_leash});
+  }
 
   world.run_until(config.sim_time);
 
@@ -140,6 +158,14 @@ BlackholeExperimentResult run_blackhole_experiment(const BlackholeExperimentConf
   result.watchdog_blacklisted =
       static_cast<std::uint64_t>(world.stats().get("watchdog.blacklisted"));
   result.mac_collisions = world.medium().collisions();
+  result.control_packets = static_cast<std::uint64_t>(world.stats().get("aodv.rreq_sent") +
+                                                      world.stats().get("aodv.rrep_sent"));
+  for (std::size_t k = 0; k < fault::kNumAttackKinds; ++k) {
+    const auto kind = static_cast<fault::AttackKind>(k);
+    if (!fault::attack_kind_booked(kind)) continue;
+    result.attack_kind_injected[k] = static_cast<std::uint64_t>(
+        world.stats().get(std::string("fault.kind.") + fault::attack_kind_name(kind)));
+  }
   result.events_executed = world.sched().executed();
   result.frames_sent = world.medium().frames_sent();
   const fault::CoverageLedger ledger{world};
@@ -181,6 +207,10 @@ BlackholeExperimentResult run_blackhole_experiment_averaged(BlackholeExperimentC
     total.voting_rounds += one.voting_rounds;
     total.watchdog_blacklisted += one.watchdog_blacklisted;
     total.mac_collisions += one.mac_collisions;
+    total.control_packets += one.control_packets;
+    for (std::size_t k = 0; k < fault::kNumAttackKinds; ++k) {
+      total.attack_kind_injected[k] += one.attack_kind_injected[k];
+    }
     total.throughput_runs.add(one.throughput);
     total.energy_runs.add(one.mean_energy_j);
     total.latency_runs.add(one.mean_latency_s);

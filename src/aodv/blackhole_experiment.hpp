@@ -48,6 +48,12 @@ struct BlackholeExperimentConfig {
   // exclusive defenses; neither set = undefended baseline.
   bool inner_circle{false};
   bool watchdog{false};    ///< Marti et al. [28] detection-based baseline
+  /// AODVSEC-style RREP plausibility verification in the guards plus strike
+  /// escalation in the suspicions managers (counters the forgery family and
+  /// colluding pairs). Only meaningful with inner_circle.
+  bool aodvsec{false};
+  /// Geographic packet leash in the injection engine (wormhole counter).
+  bool geo_leash{false};
   int level{1};                ///< dependability level L
   int circle_hops{1};          ///< 1 = paper default; 2 = §3 extension
   sim::Time delta_sts{2.0};
@@ -85,6 +91,13 @@ struct BlackholeExperimentResult {
   std::uint64_t watchdog_blacklisted{0};
   std::uint64_t voting_rounds{0};
   std::uint64_t mac_collisions{0};
+  /// Routing-control traffic (RREQs + RREPs sent), the overhead axis of the
+  /// defense matrix: an attack that floods discovery or a defense that
+  /// forces rediscovery both show up here.
+  std::uint64_t control_packets{0};
+  /// Injected-action count per attack kind ("fault.kind.<name>" counters;
+  /// index = fault::AttackKind). Only the zoo kinds book these.
+  std::array<std::uint64_t, fault::kNumAttackKinds> attack_kind_injected{};
   /// Simulator-throughput counters (for perf benches): scheduler events
   /// executed and frames put on the air during the (last) run.
   std::uint64_t events_executed{0};

@@ -4,8 +4,8 @@
 
 namespace icc::aodv {
 
-AodvGuard::AodvGuard(Aodv& aodv, core::InnerCircleNode& icc)
-    : aodv_{aodv}, icc_{icc}, entry_lifetime_{30.0} {
+AodvGuard::AodvGuard(Aodv& aodv, core::InnerCircleNode& icc, SecParams sec)
+    : aodv_{aodv}, icc_{icc}, sec_{sec}, entry_lifetime_{30.0} {
   // Outgoing RREPs are redirected to deterministic voting...
   icc_.intercept_outgoing(
       [](const sim::Packet& packet, sim::NodeId) {
@@ -39,8 +39,35 @@ bool AodvGuard::is_valid_forwarder(sim::NodeId who, sim::NodeId dest,
   return it != fw_.end() && it->second.forwarders.count(who) != 0;
 }
 
+bool AodvGuard::sec_plausible(const RrepMsg& rrep, sim::NodeId next_hop) const {
+  // A next hop outside the world can only be fabricated (forge_next_hop).
+  if (next_hop != sim::kBroadcast &&
+      next_hop >= static_cast<sim::NodeId>(aodv_.node().num_nodes())) {
+    return false;
+  }
+  if (rrep.hop_count > sec_.max_hop_count) return false;
+  // Freshness sanity: an honest destination advances its sequence number a
+  // step at a time, so a claim leaping far past what this node has recorded
+  // is a forgery (seq-inflation, compounded replay). An unknown destination
+  // gets the benefit of the doubt — the rule needs a local anchor.
+  if (const auto known = aodv_.known_dest_seq(rrep.dest)) {
+    if (rrep.dest_seq > *known && rrep.dest_seq - *known > sec_.max_seq_jump) return false;
+  }
+  return true;
+}
+
 bool AodvGuard::check(sim::NodeId center, const core::Value& value) {
   const auto decoded = RrepMsg::wire_decode(value);
+  if (sec_.verify && decoded && !sec_plausible(decoded->first, decoded->second)) {
+    net::Host& host = aodv_.node();
+    host.stats().add("guard.sec_rejected");
+    fault::report_detected(host, fault::FaultClass::kProtocol, center, 0,
+                           host.lineage_parent());
+    if (sec_.suspect_on_reject) {
+      icc_.suspicions().suspect_temporarily(center, host.now(), "aodvsec_implausible_rrep");
+    }
+    return false;
+  }
   // Fig 6: accept iff the center is the sought destination itself, or this
   // node already recorded it as a legitimate forwarder for (dest, dest_seq).
   const bool ok = decoded && (center == decoded->first.dest ||

@@ -11,6 +11,15 @@
 // Guarantee (§5.1): with dependability level L chosen so that at least one
 // inner-circle node besides the center is non-Byzantine (T >= 1), a
 // malicious node that is not on a path to D cannot diffuse a RREP for D.
+//
+// SecParams layers AODVSEC-style *semantic* verification on top of the
+// membership check: the fw-map answers "may this node forward RREPs for this
+// route?", while the plausibility rules answer "could this RREP possibly be
+// true?" — a destination sequence number leaping further than max_seq_jump
+// past anything this node has heard, an impossible hop count, or a
+// designated next hop outside the world all mark the claim forged
+// regardless of who proposes it. That is exactly the surface the forgery
+// attackers (rrep_forge_seq, rushed_rrep, rrep_forge_next_hop) exploit.
 #pragma once
 
 #include <map>
@@ -21,10 +30,23 @@
 
 namespace icc::aodv {
 
+/// AODVSEC-style RREP plausibility verification (off by default: the base
+/// Fig 6 guard stays byte-identical to the paper's behavior).
+struct SecParams {
+  bool verify{false};  ///< arm the plausibility rules below
+  /// Max believable dest_seq advance over this node's recorded value. Honest
+  /// refreshes bump by a handful; the forgers bump by 100..1e6 per copy.
+  std::uint32_t max_seq_jump{64};
+  std::uint32_t max_hop_count{16};  ///< claims beyond any real path are forged
+  /// Feed rejections into the suspicions manager, so repeat forgers can be
+  /// convicted by strike escalation (core::EscalationParams).
+  bool suspect_on_reject{false};
+};
+
 // icc:affinity(node)
 class AodvGuard {
  public:
-  AodvGuard(Aodv& aodv, core::InnerCircleNode& icc);
+  AodvGuard(Aodv& aodv, core::InnerCircleNode& icc, SecParams sec = {});
 
   /// fw-map lookup (tests / tracing).
   [[nodiscard]] bool is_valid_forwarder(sim::NodeId who, sim::NodeId dest,
@@ -32,11 +54,14 @@ class AodvGuard {
 
  private:
   [[nodiscard]] bool check(sim::NodeId center, const core::Value& value);
+  /// The AODVSEC rules; true = plausible. Only consulted when sec_.verify.
+  [[nodiscard]] bool sec_plausible(const RrepMsg& rrep, sim::NodeId next_hop) const;
   void on_agreed(const core::AgreedMsg& msg, bool is_center);
   void prune(sim::Time now) const;
 
   Aodv& aodv_;
   core::InnerCircleNode& icc_;
+  SecParams sec_;
   sim::Time entry_lifetime_;
 
   struct FwEntry {

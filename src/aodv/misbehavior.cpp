@@ -18,6 +18,12 @@ MisbehaviorAodv::MisbehaviorAodv(net::Host& node, Params params, fault::Protocol
       m_data_dropped_{node.metrics().counter_id("blackhole.data_dropped")},
       m_data_dropped_node_{
           node.metrics().node_counter_id("blackhole.data_dropped", node.id())} {
+  const fault::AttackKind kind = spec_.kind();
+  if (fault::attack_kind_booked(kind)) {
+    kind_booked_ = true;
+    m_kind_ = node.metrics().counter_id(std::string("fault.kind.") +
+                                        fault::attack_kind_name(kind));
+  }
   // Periodic misbehaviors schedule their ticks up front — and only when the
   // spec asks for them, so a pure black/gray hole adds zero events and zero
   // RNG draws relative to the old dedicated attacker class.
@@ -37,8 +43,17 @@ std::uint64_t MisbehaviorAodv::packets_dropped() const {
 
 bool MisbehaviorAodv::active() const { return spec_.when.active_at(now()); }
 
+void MisbehaviorAodv::book_kind() {
+  if (kind_booked_) node_.metrics().add(m_kind_);
+}
+
 void MisbehaviorAodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
-  if (spec_.seq_inflation == 0 || !active()) {
+  // Route attraction: the black-hole family forges an absurdly fresh RREP
+  // (seq_inflation); the rushing variant forges a merely *plausible* one
+  // (rush_seq_bump) and wins by answering first instead of freshest.
+  const std::uint32_t bump =
+      spec_.seq_inflation != 0 ? spec_.seq_inflation : spec_.rush_seq_bump;
+  if (bump == 0 || !active()) {
     Aodv::handle_rreq(rreq, from);
     return;
   }
@@ -55,7 +70,7 @@ void MisbehaviorAodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
   // guarded receivers will suppress it, while unguarded ones swallow it.
   RrepMsg rrep;
   rrep.dest = rreq.dest;
-  rrep.dest_seq = rreq.dest_seq + spec_.seq_inflation;
+  rrep.dest_seq = rreq.dest_seq + bump;
   rrep.orig = rreq.orig;
   rrep.hop_count = 1;
 
@@ -66,6 +81,7 @@ void MisbehaviorAodv::handle_rreq(const RreqMsg& rreq, sim::NodeId from) {
   packet.size_bytes = RrepMsg::kWireSize;
   packet.body = std::make_shared<RrepMsg>(rrep);
   node_.metrics().add(m_rrep_forged_);
+  book_kind();
   fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
   node_.transport().send_unfiltered(std::move(packet), from);
 
@@ -84,6 +100,27 @@ void MisbehaviorAodv::handle_rrep(const RrepMsg& rrep, sim::NodeId from) {
 
 void MisbehaviorAodv::forward_data(const sim::Packet& packet, const DataMsg& data) {
   if (packet.src != node_.id() && active()) {
+    if (spec_.partner != sim::kNoNode) {
+      // Cooperative blackhole: hand the attracted packet to the colluder.
+      // The retransmission is genuine — promiscuous watchers hear it and
+      // clear any pending charge — but the colluder is a plain dropper, so
+      // the packet dies one hop later with nobody watching that hop.
+      node_.stats().add("misbehavior.data_diverted");
+      book_kind();
+      fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
+      send_data_packet(packet, spec_.partner);
+      return;
+    }
+    if (spec_.forge_next_hop) {
+      // Fabricated next hop: retransmit for real (watchdog-clean) but
+      // address the frame to a node that does not exist. No ack ever comes;
+      // the MAC exhausts its retries and the packet is gone.
+      node_.stats().add("misbehavior.data_misrouted");
+      book_kind();
+      fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
+      send_data_packet(packet, static_cast<sim::NodeId>(node_.num_nodes()));
+      return;
+    }
     if (spec_.drop_prob > 0.0 && attack_rng_.chance(spec_.drop_prob)) {
       node_.metrics().add(m_data_dropped_);
       node_.metrics().add(m_data_dropped_node_);
@@ -104,6 +141,11 @@ void MisbehaviorAodv::forward_data(const sim::Packet& packet, const DataMsg& dat
 
 void MisbehaviorAodv::replay_tick() {
   if (active() && last_rrep_ && !node_.down()) {
+    // Seq-inflation forgery: each replayed copy advertises a freshness the
+    // destination never issued, compounding per tick so the forged route
+    // outlives any honest refresh (the AODVSEC target attack). Plain replay
+    // (replay_seq_bump 0) re-sends the capture verbatim.
+    last_rrep_->first.dest_seq += spec_.replay_seq_bump;
     const auto& [rrep, from] = *last_rrep_;
     sim::Packet packet;
     packet.src = node_.id();
@@ -112,6 +154,7 @@ void MisbehaviorAodv::replay_tick() {
     packet.size_bytes = RrepMsg::kWireSize;
     packet.body = std::make_shared<RrepMsg>(rrep);
     node_.stats().add("misbehavior.rrep_replayed");
+    book_kind();
     fault::report_injected(node_, fault::FaultClass::kProtocol, node_.id());
     // Replays go raw like every malicious RREP: a guarded receiver's
     // suppression of the stale copy is the neutralization we measure.

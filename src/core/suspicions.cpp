@@ -8,6 +8,19 @@ void SuspicionsManager::suspect_temporarily(sim::NodeId id, sim::Time now,
   if (!inserted && it->second.until < now + temporary_duration_) {
     it->second = TempEntry{now + temporary_duration_, reason};
   }
+  if (escalation_.strike_threshold <= 0 || convicted_.count(id) != 0) return;
+  std::vector<sim::Time>& strikes = strikes_[id];
+  std::erase_if(strikes, [&](sim::Time t) { return now - t > escalation_.strike_window; });
+  strikes.push_back(now);
+  int threshold = escalation_.strike_threshold;
+  if (escalation_.convict_partners && escalated_convictions_ > 0) {
+    threshold = (threshold + 1) / 2;
+  }
+  if (static_cast<int>(strikes.size()) >= threshold) {
+    ++escalated_convictions_;
+    convict(id, "escalated: " + reason);
+    strikes_.erase(id);
+  }
 }
 
 void SuspicionsManager::convict(sim::NodeId id, const std::string& evidence) {

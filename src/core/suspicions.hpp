@@ -15,6 +15,23 @@
 
 namespace icc::core {
 
+/// Strike-based escalation: repeated temporary suspicions of one node
+/// within a sliding window harden into a conviction. The paper reserves
+/// convictions for provable evidence; escalation extends that to attackers
+/// whose individual actions each look merely dubious (a cooperative
+/// blackhole pair splits the evidence across two nodes, so neither ever
+/// produces one provably bad message) but whose *pattern* is damning.
+struct EscalationParams {
+  /// Suspicions within the window needed to convict; 0 disables escalation
+  /// entirely, preserving the paper's evidence-only conviction rule.
+  int strike_threshold{0};
+  sim::Time strike_window{60.0};
+  /// Colluders fall together: once one node has been convicted by
+  /// escalation, later nodes convict at half the threshold — the first
+  /// conviction is the hard part, its partner inherits the distrust.
+  bool convict_partners{false};
+};
+
 // icc:affinity(node)
 class SuspicionsManager {
  public:
@@ -22,7 +39,14 @@ class SuspicionsManager {
   explicit SuspicionsManager(sim::Time temporary_duration = 120.0)
       : temporary_duration_{temporary_duration} {}
 
-  /// Evidence-free suspicion: expires after the configured duration.
+  void set_escalation(EscalationParams params) { escalation_ = params; }
+  [[nodiscard]] std::size_t escalated_convictions() const noexcept {
+    return escalated_convictions_;
+  }
+
+  /// Evidence-free suspicion: expires after the configured duration. With
+  /// escalation armed, also records a strike and may convict (see
+  /// EscalationParams).
   void suspect_temporarily(sim::NodeId id, sim::Time now, const std::string& reason);
 
   /// Provable misbehavior: permanent conviction. A conviction never expires
@@ -43,11 +67,14 @@ class SuspicionsManager {
   };
 
   sim::Time temporary_duration_;
+  EscalationParams escalation_{};
+  std::size_t escalated_convictions_{0};
   // Ordered deliberately: suspects() iterates both maps and its output can
   // steer interception decisions, so the walk must not depend on hash-table
   // layout (DESIGN.md §9).
   std::map<sim::NodeId, TempEntry> temporary_;
   std::map<sim::NodeId, std::string> convicted_;
+  std::map<sim::NodeId, std::vector<sim::Time>> strikes_;
 };
 
 }  // namespace icc::core

@@ -51,6 +51,28 @@ class Schedule {
 
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
 
+  /// Structural sanity, consumed by FaultPlan::validate(): a periodic
+  /// schedule needs a non-negative off-period and phase (a non-positive `on`
+  /// already degraded to always() in the factory); a window needs a
+  /// non-negative start and positive length — window(3, 1) or after(-5) are
+  /// the classic negative-time typos this catches.
+  [[nodiscard]] bool valid() const noexcept {
+    switch (kind_) {
+      case Kind::kAlways:
+      case Kind::kNever:
+        return true;
+      case Kind::kPeriodic:
+        return on_ > 0.0 && off_ >= 0.0 && phase_ >= 0.0;
+      case Kind::kWindow:
+        return phase_ >= 0.0 && on_ > 0.0;
+    }
+    return false;
+  }
+
+  /// Window bounds, for overlap checks (meaningful for kWindow only).
+  [[nodiscard]] sim::Time window_start() const noexcept { return phase_; }
+  [[nodiscard]] sim::Time window_end() const noexcept { return phase_ + on_; }
+
   [[nodiscard]] bool active_at(sim::Time t) const {
     switch (kind_) {
       case Kind::kAlways:

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "exp/env.hpp"
 #include "net/codec.hpp"
 
 namespace icc::net {
@@ -49,6 +50,22 @@ UdpHost::UdpHost(UdpConfig config)
       rx_frames_id_{metrics().counter_id("net.udp.rx_frames")},
       rx_rejected_id_{metrics().counter_id("net.udp.rx_rejected")} {
   if (config_.num_nodes <= config_.id) fatal("node id outside the testnet size");
+  // Env knobs override the config defaults; strict-parsed so a typo'd value
+  // kills the node at startup rather than running an unimpaired testnet that
+  // claims to be impaired.
+  config_.fault_loss = exp::env_double("ICC_NET_LOSS", config_.fault_loss);
+  config_.fault_reorder = exp::env_double("ICC_NET_REORDER", config_.fault_reorder);
+  if (config_.fault_loss < 0.0 || config_.fault_loss > 1.0) {
+    fatal("ICC_NET_LOSS outside [0, 1]");
+  }
+  if (config_.fault_reorder < 0.0 || config_.fault_reorder > 1.0) {
+    fatal("ICC_NET_REORDER outside [0, 1]");
+  }
+  if (config_.fault_loss > 0.0 || config_.fault_reorder > 0.0) {
+    // Fork only when armed: fork() advances the parent stream, and an
+    // unimpaired host must draw exactly what it always drew.
+    fault_rng_ = rng_.fork(0xFA171ull);
+  }
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) fatal("udp socket creation failed");
   const sockaddr_in addr =
@@ -110,10 +127,48 @@ void UdpHost::broadcast_bytes(const std::vector<std::uint8_t>& bytes) {
   // decides between delivery and promiscuous overhearing.
   for (std::size_t peer = 0; peer < config_.num_nodes; ++peer) {
     if (peer == config_.id) continue;
-    const sockaddr_in addr =
-        loopback_addr(static_cast<std::uint16_t>(config_.base_port + peer));
-    (void)::sendto(fd_, bytes.data(), bytes.size(), 0,
-                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (config_.fault_loss > 0.0 && fault_rng_.chance(config_.fault_loss)) {
+      stats_.add("net.udp.fault_dropped");
+      continue;
+    }
+    if (config_.fault_reorder > 0.0 && !holding_ && fault_rng_.chance(config_.fault_reorder)) {
+      // Hold this copy; it goes out right after the *next* datagram to the
+      // wire, i.e. one slot late — a minimal, bounded reordering.
+      held_datagram_ = bytes;
+      held_peer_ = peer;
+      holding_ = true;
+      stats_.add("net.udp.fault_reordered");
+      continue;
+    }
+    send_datagram(peer, bytes);
+    if (holding_) {
+      holding_ = false;
+      send_datagram(held_peer_, held_datagram_);
+    }
+  }
+}
+
+void UdpHost::send_datagram(std::size_t peer, const std::vector<std::uint8_t>& bytes) {
+  const sockaddr_in addr =
+      loopback_addr(static_cast<std::uint16_t>(config_.base_port + peer));
+  int backoff_us = 100;
+  for (int attempt = 0;; ++attempt) {
+    const ssize_t n = ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (n >= 0) {
+      if (attempt > 0) stats_.add("net.udp.tx_retries", static_cast<double>(attempt));
+      return;
+    }
+    const bool transient =
+        errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS || errno == EINTR;
+    if (!transient || attempt >= 6) {
+      // Radios lose frames; so can we. Count it and keep serving — a burst
+      // of ENOBUFS must not kill a daemon that will be fine in a millisecond.
+      stats_.add("net.udp.tx_failed");
+      return;
+    }
+    ::usleep(static_cast<useconds_t>(backoff_us));
+    backoff_us = std::min(backoff_us * 2, 5000);
   }
 }
 

@@ -33,6 +33,13 @@ struct UdpConfig {
   std::uint64_t seed{1};           ///< run seed; RNG forks derive from it
   std::int64_t epoch_unix_us{0};   ///< shared run epoch for SteadyClock
   Vec2 position{};                 ///< static position from the scenario spec
+  /// Link impairment, normally populated from ICC_NET_LOSS / ICC_NET_REORDER
+  /// (strict-parsed, [0, 1]) by the constructor: per-peer Bernoulli datagram
+  /// loss and one-datagram-delay reordering. Loopback UDP is too perfect a
+  /// radio — these knobs let the testnet rehearse the packet weather the
+  /// protocols were built for.
+  double fault_loss{0.0};
+  double fault_reorder{0.0};
 };
 
 // icc:affinity(node)
@@ -88,6 +95,10 @@ class UdpHost final : public Host, public Transport {
  private:
   void stamp_lineage(sim::Packet& packet);
   void broadcast_bytes(const std::vector<std::uint8_t>& bytes);
+  /// sendto with bounded exponential backoff on transient errors (EAGAIN /
+  /// ENOBUFS / EINTR): a full socket buffer under load must not silently
+  /// erase a frame the way the old fire-and-forget sendto did.
+  void send_datagram(std::size_t peer, const std::vector<std::uint8_t>& bytes);
   void drain_socket();
   void dispatch(const sim::Frame& frame);
 
@@ -104,6 +115,14 @@ class UdpHost final : public Host, public Transport {
   int fd_{-1};
   std::vector<std::uint8_t> tx_scratch_;
   std::vector<std::uint8_t> rx_scratch_;
+
+  // Impairment state. The fault RNG is forked from the host stream only when
+  // a knob is nonzero, so impairment-free runs keep the exact RNG genealogy
+  // (and therefore byte-identical traces) they had before the knobs existed.
+  sim::Rng fault_rng_{0};
+  std::vector<std::uint8_t> held_datagram_;  ///< one-slot reorder buffer
+  std::size_t held_peer_{0};
+  bool holding_{false};
 
   std::array<Handler, static_cast<std::size_t>(sim::Port::kCount)> handlers_{};
   std::vector<PromiscuousListener> promiscuous_;

@@ -1,0 +1,86 @@
+// Suspicion-escalation tests (core::EscalationParams): repeated temporary
+// suspicions of one node within a sliding window harden into a conviction,
+// and partners of an escalated convict fall at half the threshold — the
+// countermeasure built for attackers (cooperative blackhole pairs) whose
+// individual actions each look merely dubious.
+#include <gtest/gtest.h>
+
+#include "core/suspicions.hpp"
+
+namespace icc::core {
+namespace {
+
+TEST(EscalationTest, DisabledThresholdPreservesEvidenceOnlyConvictions) {
+  SuspicionsManager suspicions;  // strike_threshold 0: the paper's rule
+  for (int i = 0; i < 20; ++i) {
+    suspicions.suspect_temporarily(4, 1.0 * i, "smelly");
+  }
+  EXPECT_TRUE(suspicions.suspected(4, 19.0));  // temporary, as always
+  EXPECT_FALSE(suspicions.convicted(4));
+  EXPECT_EQ(suspicions.escalated_convictions(), 0u);
+}
+
+TEST(EscalationTest, StrikesWithinTheWindowConvict) {
+  SuspicionsManager suspicions;
+  suspicions.set_escalation({/*strike_threshold=*/3, /*strike_window=*/60.0,
+                             /*convict_partners=*/false});
+  suspicions.suspect_temporarily(4, 0.0, "implausible rrep");
+  suspicions.suspect_temporarily(4, 10.0, "implausible rrep");
+  EXPECT_FALSE(suspicions.convicted(4));
+  suspicions.suspect_temporarily(4, 20.0, "implausible rrep");
+  EXPECT_TRUE(suspicions.convicted(4));
+  EXPECT_EQ(suspicions.escalated_convictions(), 1u);
+  EXPECT_EQ(suspicions.conviction_count(), 1u);
+  // A conviction never expires, unlike the temporary entries that fed it.
+  EXPECT_TRUE(suspicions.suspected(4, 1e9));
+}
+
+TEST(EscalationTest, StrikesOutsideTheWindowExpire) {
+  SuspicionsManager suspicions;
+  suspicions.set_escalation({3, 60.0, false});
+  suspicions.suspect_temporarily(4, 0.0, "a");
+  suspicions.suspect_temporarily(4, 1.0, "b");
+  // Third dubious act, but 100 s later: the first two strikes have aged out
+  // of the window, so the pattern is not (yet) damning.
+  suspicions.suspect_temporarily(4, 101.0, "c");
+  EXPECT_FALSE(suspicions.convicted(4));
+  // Two more inside the new window complete a fresh pattern.
+  suspicions.suspect_temporarily(4, 110.0, "d");
+  suspicions.suspect_temporarily(4, 120.0, "e");
+  EXPECT_TRUE(suspicions.convicted(4));
+}
+
+TEST(EscalationTest, PartnersConvictAtHalfThreshold) {
+  SuspicionsManager suspicions;
+  suspicions.set_escalation({4, 60.0, /*convict_partners=*/true});
+  for (int i = 0; i < 4; ++i) {
+    suspicions.suspect_temporarily(7, 1.0 * i, "diverted data");
+  }
+  ASSERT_TRUE(suspicions.convicted(7));
+  ASSERT_EQ(suspicions.escalated_convictions(), 1u);
+
+  // Colluders fall together: after the first escalated conviction, the
+  // partner needs only ceil(4/2) = 2 strikes.
+  suspicions.suspect_temporarily(8, 10.0, "dropped diverted data");
+  EXPECT_FALSE(suspicions.convicted(8));
+  suspicions.suspect_temporarily(8, 11.0, "dropped diverted data");
+  EXPECT_TRUE(suspicions.convicted(8));
+  EXPECT_EQ(suspicions.escalated_convictions(), 2u);
+}
+
+TEST(EscalationTest, ConvictedNodesStopAccumulatingStrikes) {
+  SuspicionsManager suspicions;
+  suspicions.set_escalation({2, 60.0, false});
+  suspicions.suspect_temporarily(4, 0.0, "a");
+  suspicions.suspect_temporarily(4, 1.0, "b");
+  ASSERT_TRUE(suspicions.convicted(4));
+  ASSERT_EQ(suspicions.escalated_convictions(), 1u);
+  // Further suspicions of an already-convicted node change nothing.
+  suspicions.suspect_temporarily(4, 2.0, "c");
+  suspicions.suspect_temporarily(4, 3.0, "d");
+  EXPECT_EQ(suspicions.escalated_convictions(), 1u);
+  EXPECT_EQ(suspicions.conviction_count(), 1u);
+}
+
+}  // namespace
+}  // namespace icc::core
