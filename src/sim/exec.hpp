@@ -1,0 +1,152 @@
+// Conservative parallel-DES cell executive.
+//
+// The executive replaces the scheduler's single global event loop with a
+// windowed one. At each step it takes T = the time of the earliest pending
+// node event and forms the window [T, W), W = min(T + δ, next world event,
+// just past the run end), where the lookahead δ is the MAC preamble: the
+// guaranteed minimum airtime of any frame. The only way one node schedules
+// an event on another is Medium::begin_transmission → Mac::begin_reception,
+// whose completion lands a full frame airtime (>= preamble) in the future —
+// so no event inside the window can create work for another node inside the
+// same window, and events of nodes that are far enough apart cannot touch
+// each other's state at all.
+//
+// "Far enough" is the conflict radius ρ (see ctor): events whose owners are
+// in different components of the ρ-proximity graph are mutually independent
+// for the whole window. The window's events are partitioned into components
+// with a union-find over fine cells of side ρ, components are dealt to
+// worker threads, and each worker executes its components' events in merged
+// (time, band, idx, comp) key order with all world-global side effects
+// buffered in per-component EffectLogs (sim/exec_log.hpp). At the barrier
+// the logs are committed in component-index order — a pure function of the
+// event schedule — so traces, reports, the ledger, and the packet-uid
+// stream are byte-identical at any ICC_SIM_THREADS. DESIGN.md §16 derives
+// the invariant in full.
+//
+// Packet uids are the one global that cannot be buffered (protocol code
+// reads the value it is assigned), so draws from worker threads pass
+// through an ordering gate: each worker publishes the key of the event it
+// is executing through a per-worker seqlock frontier, and a draw spins
+// until every other worker's frontier is strictly past the drawer's key.
+// Keys form a strict total order (component index breaks all remaining
+// ties), so draws are admitted in the same order at any thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/exec_ctx.hpp"
+#include "sim/exec_log.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+class World;
+
+// The executive is the one component that owns threads. Worker coordination
+// state (epoch, remaining counter, frontiers) is atomic; everything else is
+// either executive-serial (queues, commit) or confined to one worker per
+// window (heaps, contexts, effect logs, slot slabs by the conflict-radius
+// argument). The thread-local context pointer is registered in
+// tools/shared_state.toml.
+// icc:affinity(world)
+class Executive {
+ public:
+  Executive(World& world, int threads);
+  ~Executive();
+
+  Executive(const Executive&) = delete;
+  Executive& operator=(const Executive&) = delete;
+
+  /// Run the world to `end` (inclusive, like Scheduler::run_until).
+  void run_until(Time end);
+
+  /// Ordered packet-uid draw from a worker thread: spin until every other
+  /// worker's frontier key is strictly past `ctx.key`, then take the next
+  /// uid. Admission in key order makes the uid stream thread-count
+  /// invariant; the acquire/release hand-off through the frontier makes the
+  /// unsynchronized counter increment race-free.
+  [[nodiscard]] std::uint64_t gated_next_uid(ExecContext& ctx);
+
+  [[nodiscard]] int threads() const noexcept { return nthreads_; }
+
+ private:
+  /// Seqlock-published ordering key of the event a worker is executing
+  /// (+inf when idle/done). Single writer (the owning worker); readers spin
+  /// for a stable even version. All fields are atomics, so a torn read is
+  /// impossible and every access is TSan-visible; the release stores on the
+  /// fields give gated draws their happens-before edge.
+  struct alignas(64) Frontier {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> t_bits{0};
+    std::atomic<std::uint64_t> idx{0};
+    std::atomic<std::uint32_t> band{0};
+    std::atomic<std::uint32_t> comp{0};
+
+    void publish(const WorkKey& k) noexcept;
+    void publish_done() noexcept;
+    [[nodiscard]] WorkKey read() const noexcept;
+  };
+
+  /// One popped queue entry awaiting execution in the current window.
+  struct Popped {
+    Time t;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::uint32_t cell;  ///< dense occupied-cell index (union-find node)
+    std::uint32_t comp;  ///< compacted component index
+  };
+
+  void run_window(Time t, Time w);
+  void build_components(Time t);
+  void run_workers(Time w);
+  void run_worker_share(std::size_t w);
+  void worker_thread_main(std::size_t w);
+  void commit_window(Time w);
+
+  World& world_;
+  Scheduler& sched_;
+  int nthreads_;
+  double delta_;  ///< lookahead: MAC preamble (min frame airtime)
+  double rho_;    ///< conflict radius (component grid cell side)
+  std::uint32_t comp_cols_;
+  std::uint32_t comp_rows_;
+
+  // --- window-formation scratch (executive-serial) ---
+  std::vector<Popped> popped_;
+  std::unordered_map<std::uint64_t, std::uint32_t> cell_index_;  ///< cell -> dense idx
+  std::vector<std::uint32_t> uf_;         ///< union-find parents over occupied cells
+  std::vector<std::uint64_t> cell_keys_;  ///< dense idx -> packed (cx, cy)
+  std::unordered_map<std::uint32_t, std::uint32_t> comp_of_root_;
+  std::vector<std::uint32_t> comp_events_;  ///< events per component
+  std::vector<std::uint32_t> comp_worker_;  ///< component -> worker
+  std::vector<std::uint32_t> comp_order_;   ///< assignment order scratch
+  std::vector<std::uint64_t> worker_load_;
+  std::vector<EffectLog> comp_logs_;
+  std::vector<TraceEvent> trace_merge_;
+
+  // --- worker pool ---
+  std::vector<std::vector<WorkKey>> heaps_;  ///< per-worker merged min-heaps
+  std::vector<ExecContext> ctxs_;
+  std::unique_ptr<Frontier[]> frontiers_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};  ///< bumped to start a window
+  std::atomic<int> remaining_{0};        ///< workers (excl. 0) still running
+  std::atomic<bool> shutdown_{false};
+
+  // --- analyzer counters (ICC_SIM_STATS=1 prints them at destruction) ---
+  bool stats_{false};
+  std::uint64_t stat_windows_{0};
+  std::uint64_t stat_fast_windows_{0};  ///< single-component serial spans
+  std::uint64_t stat_window_events_{0};
+  std::uint64_t stat_world_events_{0};
+  std::uint64_t stat_components_{0};
+  std::uint64_t stat_max_window_events_{0};
+};
+
+}  // namespace icc::sim

@@ -1,0 +1,71 @@
+// Per-component effect log for the parallel cell executive.
+//
+// During a parallel window every component's events run on some worker
+// thread with all world-global side effects captured here instead of applied
+// in place: trace emissions, metric updates, medium counters, events handed
+// off past the window boundary, and scheduler accounting deltas. At the
+// window barrier the executive replays the logs serially in component-index
+// order — a deterministic order derived from event keys, never from thread
+// scheduling — so the merged world state is byte-identical at any thread
+// count. See DESIGN.md §16 for the merge rule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/clock.hpp"
+#include "sim/exec_ctx.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace icc::sim {
+
+// icc:affinity(cell)
+struct EffectLog {
+  /// One buffered metric update. Interned-id ops carry `id`; named ops
+  /// (string-keyed Stats facade, the coverage ledger) carry an index into
+  /// `names` instead and intern at commit time, so the registry's insertion
+  /// order — which fixes report field order — is decided serially.
+  struct MetricOp {
+    ExecMetricOp kind;
+    std::uint32_t id{0};  ///< MetricId, or index into `names` for *Named kinds
+    double v{0.0};
+  };
+
+  /// An event scheduled during the window whose time falls at or past the
+  /// window end: its slot (and EventId) already exist in the owner's slab,
+  /// but its global sequence number is assigned at the barrier, in
+  /// (component index, creation order) — a thread-count-independent order.
+  struct Handoff {
+    Time t;
+    std::uint64_t id;
+  };
+
+  std::vector<TraceEvent> traces;   ///< emission order == per-component key order
+  std::vector<MetricOp> ops;
+  std::vector<std::string> names;   ///< string keys referenced by *Named ops
+  std::vector<Handoff> handoffs;    ///< creation order
+  std::uint64_t frames_sent{0};     ///< Medium::frames_sent_ delta
+  std::uint64_t collisions{0};      ///< Medium::collisions_ delta
+  std::int64_t live_delta{0};       ///< Scheduler::live_count_ delta (sched - fired - cancelled)
+  std::uint64_t next_creation{0};   ///< band-1 creation counter (WorkKey::idx source)
+  std::array<std::uint64_t, net::kNumEventTags> executed{};
+  std::array<double, net::kNumEventTags> wall_seconds{};
+
+  void clear() {
+    traces.clear();
+    ops.clear();
+    names.clear();
+    handoffs.clear();
+    frames_sent = 0;
+    collisions = 0;
+    live_delta = 0;
+    next_creation = 0;
+    executed.fill(0);
+    wall_seconds.fill(0.0);
+  }
+};
+
+}  // namespace icc::sim
